@@ -1,0 +1,57 @@
+// Ablation of the paper's central stage-2 design decision (Section 5.2):
+// column-wise elimination with cache-resident block kernels (xHBCEU /
+// xHBREL / xHBLRU) versus the standard ELEMENT-WISE Givens chasing it
+// replaces ("The most problematic aspect of the standard procedure is the
+// element-wise elimination").
+//
+// Both reduce the same band matrix to tridiagonal form; we compare wall
+// time and flops across bandwidths.  The column-wise version does slightly
+// more arithmetic (delayed annihilation re-touches overlapped bulges) but
+// each kernel works on a contiguous cached block, while the rotation version
+// streams twice over scattered pairs per element.
+//
+// Usage: bench_ablation_elimination [--n N]
+#include <cstdio>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "common/flops.hpp"
+#include "twostage/sb2st.hpp"
+#include "twostage/sbtrd_rot.hpp"
+#include "twostage/sy2sb.hpp"
+
+using namespace tseig;
+
+int main(int argc, char** argv) {
+  const idx n = bench::arg_idx(argc, argv, "--n", 1024);
+  Matrix a = bench::random_symmetric(n, 91);
+
+  std::printf("Stage-2 elimination ablation (n = %lld): column-wise kernels "
+              "vs element-wise Givens\n",
+              static_cast<long long>(n));
+  std::printf("  %-6s %14s %12s %14s %12s %8s\n", "nb", "col-wise s",
+              "col GF", "elem-wise s", "elem GF", "ratio");
+  for (idx nb : {idx{16}, idx{32}, idx{48}, idx{64}, idx{96}, idx{128}}) {
+    if (nb >= n) break;
+    auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb);
+
+    FlopScope f1;
+    const double t_col =
+        bench::time_seconds([&] { (void)twostage::sb2st(s1.band); });
+    const double gf_col = static_cast<double>(f1.count()) * 1e-9;
+
+    std::vector<double> d, e;
+    FlopScope f2;
+    const double t_rot = bench::time_seconds(
+        [&] { twostage::sbtrd_rotations(s1.band, d, e); });
+    const double gf_rot = static_cast<double>(f2.count()) * 1e-9;
+
+    std::printf("  %-6lld %14.3f %12.2f %14.3f %12.2f %8.2f\n",
+                static_cast<long long>(nb), t_col, gf_col, t_rot, gf_rot,
+                t_rot / t_col);
+  }
+  std::printf("\npaper shape: the column-wise kernels win at every\n"
+              "bandwidth, and the gap widens with nb (bigger cached blocks\n"
+              "per kernel vs longer scattered chases per rotation).\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Regenerates Table 3: the machine parameters of the performance model --
+//   alpha : GEMM execution rate (flop/s)           [compute-bound ceiling]
+//   beta  : GEMV execution rate (flop/s and GB/s)  [memory-bound ceiling]
+//   p     : core count
+//
+// These feed Eqs. (4)-(6); bench_model_crossover consumes the same
+// measurements.  The paper's sample values (Table 3): alpha = 10-20 Gflop/s,
+// beta's bandwidth 40-80 MB/s-per-core-scale, p = 8-12.
+//
+// Usage: bench_table3_machine [--n N]
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "blas/blas2.hpp"
+#include "blas/blas3.hpp"
+#include "common/rng.hpp"
+
+using namespace tseig;
+
+int main(int argc, char** argv) {
+  const idx n = bench::arg_idx(argc, argv, "--n", 1024);
+  const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
+
+  const double alpha = bench::measure_alpha(n, reps);
+  const idx nbig = std::min<idx>(n * 4, 4096);
+  const double beta = bench::measure_beta(nbig, reps);
+  const double beta_symv = bench::measure_beta_symv(nbig, reps);
+  const unsigned p = std::thread::hardware_concurrency();
+
+  std::printf("Table 3 reproduction: model parameters on this host "
+              "(n = %lld)\n",
+              static_cast<long long>(n));
+  std::printf("  alpha (GEMM)     : %8.2f Gflop/s\n", alpha * 1e-9);
+  std::printf("  beta  (GEMV)     : %8.2f Gflop/s  (~%.2f GB/s read)\n",
+              beta * 1e-9, beta / 2.0 * 8.0 * 1e-9);
+  std::printf("  beta  (SYMV)     : %8.2f Gflop/s  (blocked; binds our "
+              "1-stage TRD)\n",
+              beta_symv * 1e-9);
+  std::printf("  p     (cores)    : %8u\n", p == 0 ? 1 : p);
+  std::printf("  alpha/beta       : %8.1fx (GEMV), %.1fx (SYMV)\n",
+              alpha / beta, alpha / beta_symv);
+  std::printf("\npaper shape: alpha/beta of one-to-two orders of magnitude,\n"
+              "which is what makes trading extra GEMM flops for avoided GEMV\n"
+              "traffic profitable (Section 4).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Execution-trace harness for the bulge-chasing DAG (the paper's Figure 2
+// shows exactly this kernel-execution view): runs stage 2 under the dynamic
+// runtime with tracing enabled, writes a Chrome-tracing JSON (open in
+// chrome://tracing or Perfetto), and prints per-worker utilization for the
+// dynamic vs pinned-subset schedules.
+//
+// Usage: bench_trace_schedule [--n N] [--nb NB] [--workers W]
+//        [--out /path/trace.json]
+#include <cstdio>
+#include <string>
+
+#include "bench_support.hpp"
+#include "runtime/trace_io.hpp"
+#include "twostage/sb2st.hpp"
+#include "twostage/sy2sb.hpp"
+
+using namespace tseig;
+
+int main(int argc, char** argv) {
+  const idx n = bench::arg_idx(argc, argv, "--n", 512);
+  const idx nb = bench::arg_idx(argc, argv, "--nb", 32);
+  const int workers =
+      static_cast<int>(bench::arg_idx(argc, argv, "--workers", 4));
+
+  Matrix a = bench::random_symmetric(n, 81);
+  auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+
+  std::printf("Bulge-chasing schedule trace (n = %lld, nb = %lld, workers = "
+              "%d)\n",
+              static_cast<long long>(n), static_cast<long long>(nb), workers);
+
+  struct Cfg {
+    const char* name;
+    int subset;
+    const char* out;
+  };
+  const Cfg cfgs[] = {
+      {"dynamic (all workers)", 0, "/tmp/trace_stage2_dynamic.json"},
+      {"pinned subset (2)", 2, "/tmp/trace_stage2_pinned.json"},
+  };
+  for (const Cfg& c : cfgs) {
+    std::vector<rt::TraceEvent> trace;
+    twostage::Sb2stOptions o;
+    o.num_workers = workers;
+    o.stage2_workers = c.subset;
+    o.group = 4;
+    o.trace = &trace;
+    (void)twostage::sb2st(s1.band, o);
+    const auto sum = rt::summarize(trace);
+    std::printf("\n%s: %lld tasks, makespan %.3fs\n", c.name,
+                static_cast<long long>(sum.tasks), sum.makespan);
+    for (size_t w = 0; w < sum.busy_seconds.size(); ++w)
+      std::printf("  worker %zu busy %.3fs (%.0f%%)\n", w, sum.busy_seconds[w],
+                  100.0 * sum.busy_seconds[w] / sum.makespan);
+    rt::write_chrome_trace(trace, c.out);
+    std::printf("  trace written to %s\n", c.out);
+  }
+  std::printf("\npaper shape (Figure 2 / Section 6): the chase lattice admits\n"
+              "limited pipelined parallelism; pinning it to a worker subset\n"
+              "concentrates the same work on fewer, better-utilized cores.\n");
+  return 0;
+}

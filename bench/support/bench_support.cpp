@@ -1,0 +1,103 @@
+#include "bench_support.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "blas/blas2.hpp"
+#include "blas/blas3.hpp"
+
+namespace tseig::bench {
+
+Matrix random_symmetric(idx n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width, int precision) {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) std::printf("%*.*f", width, precision, v);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void print_header(const std::string& label,
+                  const std::vector<std::string>& columns, int width) {
+  std::printf("%-24s", label.c_str());
+  for (const auto& c : columns) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+idx arg_idx(int argc, char** argv, const std::string& key, idx fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return static_cast<idx>(std::atoll(argv[i + 1]));
+  }
+  return fallback;
+}
+
+double arg_double(int argc, char** argv, const std::string& key,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+bool arg_flag(int argc, char** argv, const std::string& key) {
+  for (int i = 1; i < argc; ++i) {
+    if (key == argv[i]) return true;
+  }
+  return false;
+}
+
+std::vector<idx> sweep_sizes(idx nmax) {
+  std::vector<idx> sizes;
+  for (idx n : {idx{256}, idx{384}, idx{512}, idx{768}, idx{1024}, idx{1536},
+                idx{2048}, idx{3072}, idx{4096}}) {
+    if (n <= nmax) sizes.push_back(n);
+  }
+  if (sizes.empty() || sizes.back() != nmax) sizes.push_back(nmax);
+  return sizes;
+}
+
+double measure_alpha(idx n, int reps) {
+  Matrix a = random_symmetric(n, 1), b = random_symmetric(n, 2), c(n, n);
+  const double secs = time_best(reps, [&] {
+    blas::gemm(op::none, op::none, n, n, n, 1.0, a.data(), a.ld(), b.data(),
+               b.ld(), 0.0, c.data(), c.ld());
+  });
+  return 2.0 * static_cast<double>(n) * n * n / secs;
+}
+
+double measure_beta(idx n, int reps) {
+  Matrix a = random_symmetric(n, 3);
+  std::vector<double> x(static_cast<size_t>(n), 1.0),
+      y(static_cast<size_t>(n));
+  const double secs = time_best(reps, [&] {
+    blas::gemv(op::none, n, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+               y.data(), 1);
+  });
+  return 2.0 * static_cast<double>(n) * n / secs;
+}
+
+double measure_beta_symv(idx n, int reps) {
+  Matrix a = random_symmetric(n, 4);
+  std::vector<double> x(static_cast<size_t>(n), 1.0),
+      y(static_cast<size_t>(n));
+  const double secs = time_best(reps, [&] {
+    blas::symv(uplo::lower, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+               y.data(), 1);
+  });
+  return 2.0 * static_cast<double>(n) * n / secs;
+}
+
+}  // namespace tseig::bench

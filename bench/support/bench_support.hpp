@@ -1,0 +1,68 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// tables and figures: matrix builders, timing wrappers and table printing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+
+namespace tseig::bench {
+
+/// Random symmetric matrix with entries uniform in (-1, 1); the standard
+/// benchmark workload (the paper benchmarks random dense symmetric systems).
+Matrix random_symmetric(idx n, std::uint64_t seed);
+
+/// Runs `fn` and returns elapsed wall seconds.
+template <class F>
+double time_seconds(F&& fn) {
+  WallTimer t;
+  fn();
+  return t.seconds();
+}
+
+/// Returns the minimum of `reps` timings of fn (steady-state estimate).
+template <class F>
+double time_best(int reps, F&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const double s = time_seconds(fn);
+    if (s < best) best = s;
+  }
+  return best;
+}
+
+/// Prints a row of a fixed-width table: label followed by values.
+void print_row(const std::string& label, const std::vector<double>& values,
+               int width = 12, int precision = 3);
+
+/// Prints a header row.
+void print_header(const std::string& label,
+                  const std::vector<std::string>& columns, int width = 12);
+
+/// Parses "--key value" style overrides from argv; returns fallback when the
+/// key is absent.  Lets every bench binary rescale to bigger machines.
+idx arg_idx(int argc, char** argv, const std::string& key, idx fallback);
+double arg_double(int argc, char** argv, const std::string& key,
+                  double fallback);
+bool arg_flag(int argc, char** argv, const std::string& key);
+
+/// Problem sizes to sweep: the paper uses 2k..24k on 48 cores; scaled to the
+/// single-core container by default, overridable with --nmax.
+std::vector<idx> sweep_sizes(idx nmax);
+
+/// Measures alpha, the GEMM execution rate in flop/s (Table 3 / Eq. 4-6).
+double measure_alpha(idx n, int reps);
+
+/// Measures beta, the GEMV execution rate in flop/s (Table 3 / Eq. 4-6).
+double measure_beta(idx n, int reps);
+
+/// Measures the SYMV execution rate in flop/s -- the memory-bound rate that
+/// actually binds this library's one-stage TRD (its blocked SYMV reads only
+/// the stored triangle, so it beats plain GEMV; see Table 2).
+double measure_beta_symv(idx n, int reps);
+
+}  // namespace tseig::bench

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Builds the library, runs the full test suite and regenerates every paper
+# table/figure, logging to test_output.txt / bench_output.txt in the repo
+# root.  Usage: scripts/run_all.sh [build-dir]
+set -e
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" 2>&1 | tee test_output.txt
+for b in "$BUILD"/bench/bench_*; do
+  echo "===== $(basename "$b")"
+  "$b"
+  echo
+done 2>&1 | tee bench_output.txt

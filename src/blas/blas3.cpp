@@ -1,0 +1,602 @@
+#include "blas/blas3.hpp"
+
+#include <algorithm>
+#include <immintrin.h>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "common/parallel.hpp"
+
+namespace tseig::blas {
+namespace {
+
+// Register tile of the microkernel.  With AVX-512 a 16x8 C tile uses 16 zmm
+// accumulators plus streams; the portable fallback uses a tile small enough
+// for the autovectorizer.
+#if defined(__AVX512F__) && defined(__FMA__)
+constexpr idx MR = 16;
+constexpr idx NR = 8;
+#else
+constexpr idx MR = 8;
+constexpr idx NR = 4;
+#endif
+// Cache blocking: KC*MR doubles of A stream through L1, MC*KC panel of A
+// lives in L2, KC*NC panel of B lives in L3/memory.
+constexpr idx MC = 128;
+constexpr idx KC = 256;
+constexpr idx NC = 4096;
+
+#if defined(__AVX512F__) && defined(__FMA__)
+/// AVX-512 microkernel for the full 16x8 tile.
+void micro_kernel_full(idx kc, double alpha, const double* ap,
+                       const double* bp, double* c, idx ldc) {
+  __m512d acc0[NR], acc1[NR];
+  for (idx j = 0; j < NR; ++j) {
+    acc0[j] = _mm512_setzero_pd();
+    acc1[j] = _mm512_setzero_pd();
+  }
+  for (idx p = 0; p < kc; ++p) {
+    const __m512d a0 = _mm512_loadu_pd(ap + p * MR);
+    const __m512d a1 = _mm512_loadu_pd(ap + p * MR + 8);
+    const double* b = bp + p * NR;
+    for (idx j = 0; j < NR; ++j) {
+      const __m512d bj = _mm512_set1_pd(b[j]);
+      acc0[j] = _mm512_fmadd_pd(a0, bj, acc0[j]);
+      acc1[j] = _mm512_fmadd_pd(a1, bj, acc1[j]);
+    }
+  }
+  const __m512d va = _mm512_set1_pd(alpha);
+  for (idx j = 0; j < NR; ++j) {
+    double* cj = c + j * ldc;
+    _mm512_storeu_pd(cj, _mm512_fmadd_pd(va, acc0[j], _mm512_loadu_pd(cj)));
+    _mm512_storeu_pd(cj + 8,
+                     _mm512_fmadd_pd(va, acc1[j], _mm512_loadu_pd(cj + 8)));
+  }
+}
+#endif
+
+/// Microkernel: C(0:mr,0:nr) += alpha * Ap * Bp where Ap is an MR-wide packed
+/// micro-panel (kc steps) and Bp an NR-wide packed micro-panel.
+void micro_kernel(idx kc, double alpha, const double* ap, const double* bp,
+                  double* c, idx ldc, idx mr, idx nr) {
+#if defined(__AVX512F__) && defined(__FMA__)
+  if (mr == MR && nr == NR) {
+    micro_kernel_full(kc, alpha, ap, bp, c, ldc);
+    return;
+  }
+#endif
+  double acc[MR * NR] = {};
+  for (idx p = 0; p < kc; ++p) {
+    const double* a = ap + p * MR;
+    const double* b = bp + p * NR;
+    for (idx j = 0; j < NR; ++j) {
+      const double bj = b[j];
+      for (idx i = 0; i < MR; ++i) {
+        acc[j * MR + i] += a[i] * bj;
+      }
+    }
+  }
+  if (mr == MR && nr == NR) {
+    for (idx j = 0; j < NR; ++j) {
+      double* cj = c + j * ldc;
+      for (idx i = 0; i < MR; ++i) cj[i] += alpha * acc[j * MR + i];
+    }
+  } else {
+    for (idx j = 0; j < nr; ++j) {
+      double* cj = c + j * ldc;
+      for (idx i = 0; i < mr; ++i) cj[i] += alpha * acc[j * MR + i];
+    }
+  }
+}
+
+/// Packs an mc-by-kc block of the left operand into MR-row micro-panels,
+/// padding the ragged edge with zeros.  `ea(i, p)` reads logical element
+/// (ic + i, pc + p) of op(A).
+template <class EA>
+void pack_a(idx mc, idx kc, EA&& ea, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += MR) {
+    const idx mr = std::min(MR, mc - i0);
+    for (idx p = 0; p < kc; ++p) {
+      for (idx i = 0; i < mr; ++i) buf[p * MR + i] = ea(i0 + i, p);
+      for (idx i = mr; i < MR; ++i) buf[p * MR + i] = 0.0;
+    }
+    buf += kc * MR;
+  }
+}
+
+/// Packs a kc-by-nc block of the right operand into NR-column micro-panels.
+template <class EB>
+void pack_b(idx kc, idx nc, EB&& eb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += NR) {
+    const idx nr = std::min(NR, nc - j0);
+    for (idx p = 0; p < kc; ++p) {
+      for (idx j = 0; j < nr; ++j) buf[p * NR + j] = eb(p, j0 + j);
+      for (idx j = nr; j < NR; ++j) buf[p * NR + j] = 0.0;
+    }
+    buf += kc * NR;
+  }
+}
+
+// Concrete packers for raw column-major operands.  These contiguous-copy
+// loops are several times faster than the element-accessor fallbacks; tile
+// algorithms hit GEMM at nb-sized operands where packing is not amortized by
+// the O(n^3) compute, so this matters for the whole stage-1 rate.
+
+/// op(A) = A (element (i,p) = a[i + p*lda]): columns are contiguous.
+void pack_a_notrans(idx mc, idx kc, const double* a, idx lda, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += MR) {
+    const idx mr = std::min(MR, mc - i0);
+    if (mr == MR) {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = a + i0 + p * lda;
+        double* dst = buf + p * MR;
+        for (idx i = 0; i < MR; ++i) dst[i] = src[i];
+      }
+    } else {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = a + i0 + p * lda;
+        double* dst = buf + p * MR;
+        for (idx i = 0; i < mr; ++i) dst[i] = src[i];
+        for (idx i = mr; i < MR; ++i) dst[i] = 0.0;
+      }
+    }
+    buf += kc * MR;
+  }
+}
+
+/// op(A) = A^T (element (i,p) = a[p + i*lda]): rows of the packed panel are
+/// contiguous in the source.
+void pack_a_trans(idx mc, idx kc, const double* a, idx lda, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += MR) {
+    const idx mr = std::min(MR, mc - i0);
+    for (idx p = 0; p < kc; ++p)
+      for (idx i = mr; i < MR; ++i) buf[p * MR + i] = 0.0;
+    for (idx i = 0; i < mr; ++i) {
+      const double* src = a + (i0 + i) * lda;
+      for (idx p = 0; p < kc; ++p) buf[p * MR + i] = src[p];
+    }
+    buf += kc * MR;
+  }
+}
+
+/// op(B) = B (element (p,j) = b[p + j*ldb]).
+void pack_b_notrans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += NR) {
+    const idx nr = std::min(NR, nc - j0);
+    if (nr < NR) {
+      for (idx p = 0; p < kc; ++p)
+        for (idx j = nr; j < NR; ++j) buf[p * NR + j] = 0.0;
+    }
+    for (idx j = 0; j < nr; ++j) {
+      const double* src = b + (j0 + j) * ldb;
+      for (idx p = 0; p < kc; ++p) buf[p * NR + j] = src[p];
+    }
+    buf += kc * NR;
+  }
+}
+
+/// op(B) = B^T (element (p,j) = b[j + p*ldb]): packed rows are contiguous.
+void pack_b_trans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += NR) {
+    const idx nr = std::min(NR, nc - j0);
+    if (nr == NR) {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = b + j0 + p * ldb;
+        double* dst = buf + p * NR;
+        for (idx j = 0; j < NR; ++j) dst[j] = src[j];
+      }
+    } else {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = b + j0 + p * ldb;
+        double* dst = buf + p * NR;
+        for (idx j = 0; j < nr; ++j) dst[j] = src[j];
+        for (idx j = nr; j < NR; ++j) dst[j] = 0.0;
+      }
+    }
+    buf += kc * NR;
+  }
+}
+
+/// Scales C by beta (handling beta == 0 so that uninitialised C never leaks
+/// NaNs into the result, as reference BLAS specifies).
+void scale_c(idx m, idx n, double beta, double* c, idx ldc) {
+  if (beta == 1.0) return;
+  for (idx j = 0; j < n; ++j) {
+    double* cj = c + j * ldc;
+    if (beta == 0.0) {
+      std::fill(cj, cj + m, 0.0);
+    } else {
+      for (idx i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+}
+
+/// Per-thread packing buffers, reused across calls (tile algorithms issue
+/// many nb-sized GEMMs; a heap allocation per call would dominate them).
+double* pack_buffer_a(idx count) {
+  thread_local std::vector<double> buf;
+  if (static_cast<idx>(buf.size()) < count)
+    buf.resize(static_cast<size_t>(count));
+  return buf.data();
+}
+double* pack_buffer_b(idx count) {
+  thread_local std::vector<double> buf;
+  if (static_cast<idx>(buf.size()) < count)
+    buf.resize(static_cast<size_t>(count));
+  return buf.data();
+}
+
+/// Cache-blocked driver: C += alpha * A B with operands delivered through
+/// block packers packa(ic, pc, mc, kc, buf) / packb(pc, jc, kc, nc, buf).
+/// C must already be scaled by beta.
+template <class PA, class PB>
+void gemm_blocked(idx m, idx n, idx k, double alpha, PA&& packa, PB&& packb,
+                  double* c, idx ldc) {
+  const idx kc_max = std::min(KC, k);
+  const idx nc_max = std::min(NC, n);
+  double* bbuf =
+      pack_buffer_b(kc_max * ((nc_max + NR - 1) / NR) * NR);
+  for (idx jc = 0; jc < n; jc += NC) {
+    const idx nc = std::min(NC, n - jc);
+    for (idx pc = 0; pc < k; pc += KC) {
+      const idx kc = std::min(KC, k - pc);
+      packb(pc, jc, kc, nc, bbuf);
+      const idx nic = (m + MC - 1) / MC;
+      parallel_for(0, nic, 1, [&](idx bi) {
+        const idx ic = bi * MC;
+        const idx mc = std::min(MC, m - ic);
+        double* abuf = pack_buffer_a(((mc + MR - 1) / MR) * MR * kc);
+        packa(ic, pc, mc, kc, abuf);
+        for (idx j0 = 0; j0 < nc; j0 += NR) {
+          const idx nr = std::min(NR, nc - j0);
+          const double* bp = bbuf + (j0 / NR) * (kc * NR);
+          for (idx i0 = 0; i0 < mc; i0 += MR) {
+            const idx mr = std::min(MR, mc - i0);
+            const double* ap = abuf + (i0 / MR) * (kc * MR);
+            micro_kernel(kc, alpha, ap, bp,
+                         c + (ic + i0) + (jc + j0) * ldc, ldc, mr, nr);
+          }
+        }
+      });
+    }
+  }
+}
+
+/// Accessor-based core shared by symm/syrk/trmm: C += alpha * EA * EB where
+/// the operands are exposed element-wise.  C must already be scaled by beta.
+template <class EA, class EB>
+void gemm_core(idx m, idx n, idx k, double alpha, EA&& ea, EB&& eb, double* c,
+               idx ldc) {
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  // Small problems: packing overhead dominates, use a direct loop nest.
+  if (m * n * k <= 16 * 1024) {
+    for (idx j = 0; j < n; ++j) {
+      double* cj = c + j * ldc;
+      for (idx p = 0; p < k; ++p) {
+        const double bpj = alpha * eb(p, j);
+        if (bpj == 0.0) continue;
+        for (idx i = 0; i < m; ++i) cj[i] += ea(i, p) * bpj;
+      }
+    }
+    return;
+  }
+  gemm_blocked(
+      m, n, k, alpha,
+      [&](idx ic, idx pc, idx mc, idx kc, double* buf) {
+        pack_a(mc, kc, [&](idx i, idx p) { return ea(ic + i, pc + p); }, buf);
+      },
+      [&](idx pc, idx jc, idx kc, idx nc, double* buf) {
+        pack_b(kc, nc, [&](idx p, idx j) { return eb(pc + p, jc + j); }, buf);
+      },
+      c, ldc);
+}
+
+}  // namespace
+
+void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
+          const double* a, idx lda, const double* b, idx ldb, double beta,
+          double* c, idx ldc) {
+  scale_c(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
+  count_flops(flop_count::gemm(m, n, k));
+  // Small problems: skip packing entirely.
+  if (m * n * k <= 16 * 1024) {
+    auto ea = [=](idx i, idx p) {
+      return transa == op::none ? a[i + p * lda] : a[p + i * lda];
+    };
+    auto eb = [=](idx p, idx j) {
+      return transb == op::none ? b[p + j * ldb] : b[j + p * ldb];
+    };
+    gemm_core(m, n, k, alpha, ea, eb, c, ldc);
+    return;
+  }
+  // Concrete contiguous packers per transpose combination.
+  auto packa = [=](idx ic, idx pc, idx mc, idx kc, double* buf) {
+    if (transa == op::none) {
+      pack_a_notrans(mc, kc, a + ic + pc * lda, lda, buf);
+    } else {
+      pack_a_trans(mc, kc, a + pc + ic * lda, lda, buf);
+    }
+  };
+  auto packb = [=](idx pc, idx jc, idx kc, idx nc, double* buf) {
+    if (transb == op::none) {
+      pack_b_notrans(kc, nc, b + pc + jc * ldb, ldb, buf);
+    } else {
+      pack_b_trans(kc, nc, b + jc + pc * ldb, ldb, buf);
+    }
+  };
+  gemm_blocked(m, n, k, alpha, packa, packb, c, ldc);
+}
+
+void symm(side sd, uplo ul, idx m, idx n, double alpha, const double* a,
+          idx lda, const double* b, idx ldb, double beta, double* c, idx ldc) {
+  scale_c(m, n, beta, c, ldc);
+  if (m == 0 || n == 0 || alpha == 0.0) return;
+  // Symmetric accessor: reads (i, j) from whichever triangle is stored.
+  auto sym = [=](idx i, idx j) {
+    const bool swap_ij = (ul == uplo::lower) ? (i < j) : (i > j);
+    return swap_ij ? a[j + i * lda] : a[i + j * lda];
+  };
+  count_flops(2 * m * n * (sd == side::left ? m : n));
+  if (sd == side::left) {
+    gemm_core(m, n, m, alpha, sym,
+              [=](idx p, idx j) { return b[p + j * ldb]; }, c, ldc);
+  } else {
+    gemm_core(m, n, n, alpha, [=](idx i, idx p) { return b[i + p * ldb]; },
+              sym, c, ldc);
+  }
+}
+
+void syrk(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
+          idx lda, double beta, double* c, idx ldc) {
+  if (n == 0) return;
+  count_flops(flop_count::syrk(n, k));
+  auto ea = [=](idx i, idx p) {
+    return trans == op::none ? a[i + p * lda] : a[p + i * lda];
+  };
+  // Block the triangle: off-diagonal block panels go through the fast core;
+  // diagonal blocks are formed into a dense scratch tile and the relevant
+  // triangle copied back.
+  constexpr idx NB = 96;
+  std::vector<double> tile(static_cast<size_t>(NB) * NB);
+  for (idx j0 = 0; j0 < n; j0 += NB) {
+    const idx nb = std::min(NB, n - j0);
+    // Diagonal block.
+    std::fill(tile.begin(), tile.end(), 0.0);
+    gemm_core(nb, nb, k, alpha, [&](idx i, idx p) { return ea(j0 + i, p); },
+              [&](idx p, idx j) { return ea(j0 + j, p); }, tile.data(), NB);
+    for (idx j = 0; j < nb; ++j) {
+      const idx ibeg = (ul == uplo::lower) ? j : 0;
+      const idx iend = (ul == uplo::lower) ? nb : j + 1;
+      for (idx i = ibeg; i < iend; ++i) {
+        double& cij = c[(j0 + i) + (j0 + j) * ldc];
+        cij = (beta == 0.0 ? 0.0 : beta * cij) + tile[i + j * NB];
+      }
+    }
+    // Off-diagonal panel.
+    const idx i0 = (ul == uplo::lower) ? j0 + nb : 0;
+    const idx mm = (ul == uplo::lower) ? n - (j0 + nb) : j0;
+    if (mm > 0) {
+      scale_c(mm, nb, beta, c + i0 + j0 * ldc, ldc);
+      gemm_core(mm, nb, k, alpha, [&](idx i, idx p) { return ea(i0 + i, p); },
+                [&](idx p, idx j) { return ea(j0 + j, p); },
+                c + i0 + j0 * ldc, ldc);
+    }
+  }
+}
+
+void syr2k(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
+           idx lda, const double* b, idx ldb, double beta, double* c,
+           idx ldc) {
+  if (n == 0) return;
+  count_flops(flop_count::syr2k(n, k));
+  auto ea = [=](idx i, idx p) {
+    return trans == op::none ? a[i + p * lda] : a[p + i * lda];
+  };
+  auto eb = [=](idx i, idx p) {
+    return trans == op::none ? b[i + p * ldb] : b[p + i * ldb];
+  };
+  constexpr idx NB = 96;
+  std::vector<double> tile(static_cast<size_t>(NB) * NB);
+  for (idx j0 = 0; j0 < n; j0 += NB) {
+    const idx nb = std::min(NB, n - j0);
+    std::fill(tile.begin(), tile.end(), 0.0);
+    gemm_core(nb, nb, k, alpha, [&](idx i, idx p) { return ea(j0 + i, p); },
+              [&](idx p, idx j) { return eb(j0 + j, p); }, tile.data(), NB);
+    gemm_core(nb, nb, k, alpha, [&](idx i, idx p) { return eb(j0 + i, p); },
+              [&](idx p, idx j) { return ea(j0 + j, p); }, tile.data(), NB);
+    for (idx j = 0; j < nb; ++j) {
+      const idx ibeg = (ul == uplo::lower) ? j : 0;
+      const idx iend = (ul == uplo::lower) ? nb : j + 1;
+      for (idx i = ibeg; i < iend; ++i) {
+        double& cij = c[(j0 + i) + (j0 + j) * ldc];
+        cij = (beta == 0.0 ? 0.0 : beta * cij) + tile[i + j * NB];
+      }
+    }
+    const idx i0 = (ul == uplo::lower) ? j0 + nb : 0;
+    const idx mm = (ul == uplo::lower) ? n - (j0 + nb) : j0;
+    if (mm > 0) {
+      scale_c(mm, nb, beta, c + i0 + j0 * ldc, ldc);
+      gemm_core(mm, nb, k, alpha, [&](idx i, idx p) { return ea(i0 + i, p); },
+                [&](idx p, idx j) { return eb(j0 + j, p); },
+                c + i0 + j0 * ldc, ldc);
+      gemm_core(mm, nb, k, alpha, [&](idx i, idx p) { return eb(i0 + i, p); },
+                [&](idx p, idx j) { return ea(j0 + j, p); },
+                c + i0 + j0 * ldc, ldc);
+    }
+  }
+}
+
+// trmm/trsm are deliberately simple column-sweep implementations: in every
+// call site in this library (compact WY applications, tile QR kernels) the
+// triangular factor is a small nb-by-nb block, so these kernels are a
+// lower-order cost next to the adjacent GEMMs.
+
+void trmm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
+          const double* a, idx lda, double* b, idx ldb) {
+  count_flops(flop_count::trmm(sd, m, n));
+  const bool unit = d == diag::unit;
+  // Fast path for block-sized triangles: route through the packed GEMM core
+  // with a triangle-aware accessor.  This doubles the nominal flops (the
+  // zero half is multiplied) but runs at GEMM rate instead of the Level-2
+  // rate of the column sweeps below -- a net win for the compact-WY
+  // applications that dominate the two-stage update phase.
+  const idx kt = sd == side::left ? m : n;
+  if (kt >= 24 && m * n >= 24 * 24) {
+    auto tri = [=](idx r, idx c) -> double {
+      if (r == c) return unit ? 1.0 : a[r + r * lda];
+      const bool stored = (ul == uplo::lower) ? (r > c) : (r < c);
+      return stored ? a[r + c * lda] : 0.0;
+    };
+    std::vector<double> scratch(static_cast<size_t>(m) * n);
+    for (idx j = 0; j < n; ++j)
+      std::copy(b + j * ldb, b + j * ldb + m, scratch.data() + j * m);
+    scale_c(m, n, 0.0, b, ldb);
+    if (sd == side::left) {
+      gemm_core(
+          m, n, m, alpha,
+          [&](idx i, idx p) { return trans == op::none ? tri(i, p) : tri(p, i); },
+          [&](idx p, idx j) { return scratch[static_cast<size_t>(p + j * m)]; },
+          b, ldb);
+    } else {
+      gemm_core(
+          m, n, n, alpha,
+          [&](idx i, idx p) { return scratch[static_cast<size_t>(i + p * m)]; },
+          [&](idx p, idx j) { return trans == op::none ? tri(p, j) : tri(j, p); },
+          b, ldb);
+    }
+    return;
+  }
+  if (sd == side::left) {
+    // B_j <- alpha * op(A) B_j, one triangular matrix-vector per column.
+    for (idx j = 0; j < n; ++j) {
+      double* bj = b + j * ldb;
+      // In-place triangular product with the correct traversal order.
+      if (trans == op::none) {
+        if (ul == uplo::upper) {
+          for (idx i = 0; i < m; ++i) {
+            double acc = unit ? bj[i] : a[i + i * lda] * bj[i];
+            for (idx p = i + 1; p < m; ++p) acc += a[i + p * lda] * bj[p];
+            bj[i] = alpha * acc;
+          }
+        } else {
+          for (idx i = m - 1; i >= 0; --i) {
+            double acc = unit ? bj[i] : a[i + i * lda] * bj[i];
+            for (idx p = 0; p < i; ++p) acc += a[i + p * lda] * bj[p];
+            bj[i] = alpha * acc;
+          }
+        }
+      } else {
+        if (ul == uplo::upper) {
+          for (idx i = m - 1; i >= 0; --i) {
+            double acc = unit ? bj[i] : a[i + i * lda] * bj[i];
+            for (idx p = 0; p < i; ++p) acc += a[p + i * lda] * bj[p];
+            bj[i] = alpha * acc;
+          }
+        } else {
+          for (idx i = 0; i < m; ++i) {
+            double acc = unit ? bj[i] : a[i + i * lda] * bj[i];
+            for (idx p = i + 1; p < m; ++p) acc += a[p + i * lda] * bj[p];
+            bj[i] = alpha * acc;
+          }
+        }
+      }
+    }
+  } else {
+    // B <- alpha * B op(A): column j of the result is a combination of
+    // columns of B; traversal order chosen so reads see old values.
+    auto acol = [&](idx i, idx j) { return a[i + j * lda]; };
+    const bool ascending =
+        (ul == uplo::lower) == (trans == op::none);
+    for (idx jj = 0; jj < n; ++jj) {
+      const idx j = ascending ? jj : n - 1 - jj;
+      const double dj = unit ? 1.0 : acol(j, j);
+      for (idx i = 0; i < m; ++i) b[i + j * ldb] *= dj;
+      if (ul == uplo::lower && trans == op::none) {
+        for (idx p = j + 1; p < n; ++p) {
+          const double t = acol(p, j);
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] += t * b[i + p * ldb];
+        }
+      } else if (ul == uplo::lower) {  // trans
+        for (idx p = 0; p < j; ++p) {
+          const double t = acol(j, p);
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] += t * b[i + p * ldb];
+        }
+      } else if (trans == op::none) {  // upper
+        for (idx p = 0; p < j; ++p) {
+          const double t = acol(p, j);
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] += t * b[i + p * ldb];
+        }
+      } else {  // upper, trans
+        for (idx p = j + 1; p < n; ++p) {
+          const double t = acol(j, p);
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] += t * b[i + p * ldb];
+        }
+      }
+      if (alpha != 1.0)
+        for (idx i = 0; i < m; ++i) b[i + j * ldb] *= alpha;
+    }
+  }
+}
+
+void trsm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
+          const double* a, idx lda, double* b, idx ldb) {
+  count_flops(flop_count::trmm(sd, m, n));
+  const bool unit = d == diag::unit;
+  if (alpha != 1.0) scale_c(m, n, alpha, b, ldb);
+  if (sd == side::left) {
+    // Forward/back substitution per column of B.
+    for (idx j = 0; j < n; ++j) {
+      double* bj = b + j * ldb;
+      const bool forward = (ul == uplo::lower) == (trans == op::none);
+      for (idx ii = 0; ii < m; ++ii) {
+        const idx i = forward ? ii : m - 1 - ii;
+        double acc = bj[i];
+        if (trans == op::none) {
+          const idx pbeg = ul == uplo::lower ? 0 : i + 1;
+          const idx pend = ul == uplo::lower ? i : m;
+          for (idx p = pbeg; p < pend; ++p) acc -= a[i + p * lda] * bj[p];
+        } else {
+          const idx pbeg = ul == uplo::lower ? i + 1 : 0;
+          const idx pend = ul == uplo::lower ? m : i;
+          for (idx p = pbeg; p < pend; ++p) acc -= a[p + i * lda] * bj[p];
+        }
+        bj[i] = unit ? acc : acc / a[i + i * lda];
+      }
+    }
+  } else {
+    // X op(A) = B: solve column-by-column of X.
+    const bool forward = (ul == uplo::lower) != (trans == op::none);
+    for (idx jj = 0; jj < n; ++jj) {
+      const idx j = forward ? jj : n - 1 - jj;
+      // Subtract contributions of already-solved columns.
+      if (trans == op::none) {
+        const idx pbeg = ul == uplo::lower ? j + 1 : 0;
+        const idx pend = ul == uplo::lower ? n : j;
+        for (idx p = pbeg; p < pend; ++p) {
+          const double t = a[p + j * lda];
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] -= t * b[i + p * ldb];
+        }
+      } else {
+        const idx pbeg = ul == uplo::lower ? 0 : j + 1;
+        const idx pend = ul == uplo::lower ? j : n;
+        for (idx p = pbeg; p < pend; ++p) {
+          const double t = a[j + p * lda];
+          if (t != 0.0)
+            for (idx i = 0; i < m; ++i) b[i + j * ldb] -= t * b[i + p * ldb];
+        }
+      }
+      if (!unit) {
+        const double dj = a[j + j * lda];
+        for (idx i = 0; i < m; ++i) b[i + j * ldb] /= dj;
+      }
+    }
+  }
+}
+
+}  // namespace tseig::blas

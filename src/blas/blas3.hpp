@@ -1,0 +1,44 @@
+// Level-3 BLAS kernels (matrix-matrix operations).
+//
+// These are the compute-bound kernels whose rate is the paper's `alpha`
+// parameter.  GEMM uses the standard three-level cache-blocked structure
+// (pack A into MR-row micro-panels, pack B into NR-column micro-panels, run a
+// register-tiled microkernel) so that on any host the GEMM/GEMV rate gap that
+// motivates the two-stage algorithm is realistic.  All other Level-3 kernels
+// are layered on the same packed core.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tseig::blas {
+
+/// C <- alpha op(A) op(B) + beta C.  A is m-by-k after op, B is k-by-n.
+void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
+          const double* a, idx lda, const double* b, idx ldb, double beta,
+          double* c, idx ldc);
+
+/// C <- alpha A B + beta C (side=left) or alpha B A + beta C (side=right)
+/// with A symmetric, triangle ul stored.
+void symm(side sd, uplo ul, idx m, idx n, double alpha, const double* a,
+          idx lda, const double* b, idx ldb, double beta, double* c, idx ldc);
+
+/// C <- alpha op(A) op(A)^T + beta C on triangle ul of C.
+/// trans==none: A is n-by-k; trans==trans: A is k-by-n.
+void syrk(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
+          idx lda, double beta, double* c, idx ldc);
+
+/// C <- alpha (op(A) op(B)^T + op(B) op(A)^T) + beta C on triangle ul.
+void syr2k(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
+           idx lda, const double* b, idx ldb, double beta, double* c, idx ldc);
+
+/// B <- alpha op(A) B (side=left) or alpha B op(A) (side=right) with A
+/// triangular (triangle ul, unit flag d).
+void trmm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
+          const double* a, idx lda, double* b, idx ldb);
+
+/// Solves op(A) X = alpha B (side=left) or X op(A) = alpha B (side=right),
+/// X overwriting B, with A triangular.
+void trsm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
+          const double* a, idx lda, double* b, idx ldb);
+
+}  // namespace tseig::blas

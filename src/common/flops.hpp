@@ -1,0 +1,64 @@
+// Flop accounting used to reproduce Table 1 (complexity of the TRD / Gen Q /
+// Eig of T / Update Z phases for each method).
+//
+// Counters are plain thread-local accumulators: each BLAS-like kernel adds its
+// nominal flop count on entry.  `FlopScope` snapshots the counter so callers
+// can attribute flops to a phase without instrumenting every call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace tseig {
+
+namespace detail {
+/// Global flop counter.  Relaxed atomics: counts are statistics, not
+/// synchronization, and kernels on different threads only ever add.
+inline std::atomic<std::uint64_t>& flop_counter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+}  // namespace detail
+
+/// Adds `n` flops to the global counter.  No-op for negative values.
+inline void count_flops(std::int64_t n) {
+  if (n > 0)
+    detail::flop_counter().fetch_add(static_cast<std::uint64_t>(n),
+                                     std::memory_order_relaxed);
+}
+
+/// Current global flop count.
+inline std::uint64_t flops_now() {
+  return detail::flop_counter().load(std::memory_order_relaxed);
+}
+
+/// RAII scope measuring the flops executed (on all threads) between its
+/// construction and the call to count().
+class FlopScope {
+public:
+  FlopScope() : start_(flops_now()) {}
+  /// Flops executed since construction.
+  std::uint64_t count() const { return flops_now() - start_; }
+
+private:
+  std::uint64_t start_;
+};
+
+/// Nominal flop formulas for the standard kernels (LAPACK working note 41
+/// conventions: one multiply + one add = 2 flops).
+namespace flop_count {
+inline std::int64_t gemm(idx m, idx n, idx k) { return 2 * m * n * k; }
+inline std::int64_t gemv(idx m, idx n) { return 2 * m * n; }
+inline std::int64_t symv(idx n) { return 2 * n * n; }
+inline std::int64_t syr2k(idx n, idx k) { return 2 * n * n * k + n * k; }
+inline std::int64_t syrk(idx n, idx k) { return n * n * k + n * k; }
+inline std::int64_t trmm(side s, idx m, idx n) {
+  return s == side::left ? m * m * n : m * n * n;
+}
+inline std::int64_t ger(idx m, idx n) { return 2 * m * n; }
+inline std::int64_t syr2(idx n) { return 2 * n * n; }
+}  // namespace flop_count
+
+}  // namespace tseig

@@ -1,0 +1,82 @@
+// Column-major dense matrix container used throughout tseig.
+//
+// This is deliberately a thin owning container: all numerical kernels take
+// raw (pointer, leading-dimension) arguments in LAPACK style so they can
+// operate on sub-blocks, tiles and workspace slices without copies.  Matrix
+// exists to own storage and give tests/examples a convenient element syntax.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tseig {
+
+/// Owning column-major matrix of doubles with ld == rows.
+class Matrix {
+public:
+  Matrix() = default;
+
+  /// Creates an m-by-n matrix initialised to zero.
+  Matrix(idx m, idx n) : m_(m), n_(n), data_(static_cast<size_t>(m * n), 0.0) {
+    require(m >= 0 && n >= 0, "Matrix: negative dimension");
+  }
+
+  idx rows() const { return m_; }
+  idx cols() const { return n_; }
+  /// Leading dimension (== rows for this owning container).
+  idx ld() const { return m_; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Element access, column-major.
+  double& operator()(idx i, idx j) { return data_[static_cast<size_t>(i + j * m_)]; }
+  double operator()(idx i, idx j) const { return data_[static_cast<size_t>(i + j * m_)]; }
+
+  /// Pointer to the start of column j.
+  double* col(idx j) { return data() + j * m_; }
+  const double* col(idx j) const { return data() + j * m_; }
+
+  /// Sets every entry to `v`.
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Resizes (destroying contents) and zero-fills.
+  void reshape(idx m, idx n) {
+    require(m >= 0 && n >= 0, "Matrix::reshape: negative dimension");
+    m_ = m;
+    n_ = n;
+    data_.assign(static_cast<size_t>(m * n), 0.0);
+  }
+
+  friend void swap(Matrix& a, Matrix& b) noexcept {
+    std::swap(a.m_, b.m_);
+    std::swap(a.n_, b.n_);
+    a.data_.swap(b.data_);
+  }
+
+private:
+  idx m_ = 0;
+  idx n_ = 0;
+  std::vector<double> data_;
+};
+
+/// Non-owning view of a column-major block (pointer + dimensions + ld).
+/// Used by higher-level algorithms when partitioning matrices into panels.
+struct MatrixView {
+  double* a = nullptr;
+  idx m = 0;
+  idx n = 0;
+  idx ld = 0;
+
+  double& operator()(idx i, idx j) const { return a[i + j * ld]; }
+};
+
+/// View of an m-by-n block of `mat` starting at (i0, j0).
+inline MatrixView block(Matrix& mat, idx i0, idx j0, idx m, idx n) {
+  return MatrixView{mat.data() + i0 + j0 * mat.ld(), m, n, mat.ld()};
+}
+
+}  // namespace tseig

@@ -1,0 +1,67 @@
+// Minimal fork-join parallel_for used inside the BLAS substrate.
+//
+// This is intentionally separate from the task runtime in src/runtime: the
+// runtime schedules coarse algorithm tasks over a DAG, while parallel_for
+// gives individual Level-3 kernels a way to use idle cores for very large
+// flat loops (e.g. the baseline's SYR2K trailing update).  Worker count
+// defaults to TSEIG_NUM_THREADS or the hardware concurrency.
+#pragma once
+
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tseig {
+
+/// Number of worker threads used by default across the library.  Reads
+/// TSEIG_NUM_THREADS once; falls back to std::thread::hardware_concurrency().
+inline int default_num_threads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("TSEIG_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cached;
+}
+
+/// Runs fn(i) for i in [begin, end) potentially in parallel.  Chunks of at
+/// least `grain` iterations are assigned to at most default_num_threads()
+/// worker threads.  Falls back to a serial loop when the range is small or
+/// only one worker is configured.  fn must be safe to invoke concurrently on
+/// distinct indices.
+inline void parallel_for(idx begin, idx end, idx grain,
+                         const std::function<void(idx)>& fn) {
+  const idx n = end - begin;
+  if (n <= 0) return;
+  const int max_threads = default_num_threads();
+  const idx max_chunks = grain > 0 ? (n + grain - 1) / grain : 1;
+  const int nthreads =
+      static_cast<int>(std::min<idx>(max_threads, max_chunks));
+  if (nthreads <= 1) {
+    for (idx i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(nthreads) - 1);
+  const idx chunk = (n + nthreads - 1) / nthreads;
+  auto run_range = [&](idx lo, idx hi) {
+    for (idx i = lo; i < hi; ++i) fn(i);
+  };
+  for (int t = 1; t < nthreads; ++t) {
+    const idx lo = begin + t * chunk;
+    const idx hi = std::min(end, lo + chunk);
+    if (lo < hi) workers.emplace_back(run_range, lo, hi);
+  }
+  run_range(begin, std::min(end, begin + chunk));
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace tseig

@@ -1,0 +1,45 @@
+// Wall-clock timing utilities used by the phase-breakdown instrumentation
+// (Figure 1) and by every benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace tseig {
+
+/// Monotonic wall-clock timer with seconds() readout.
+class WallTimer {
+public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates time across multiple start/stop intervals; used by the
+/// per-phase breakdown of the eigensolver drivers.
+class PhaseTimer {
+public:
+  void start() { timer_.reset(); running_ = true; }
+  void stop() {
+    if (running_) total_ += timer_.seconds();
+    running_ = false;
+  }
+  double total() const { return total_; }
+  void clear() { total_ = 0.0; running_ = false; }
+
+private:
+  WallTimer timer_;
+  double total_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace tseig

@@ -1,0 +1,52 @@
+// Fundamental scalar/index types and error handling shared by all tseig modules.
+//
+// The whole library computes in IEEE double precision, matching the paper's
+// evaluation ("All computations were performed in double precision
+// arithmetic").  Matrices are column-major with an explicit leading dimension,
+// following the LAPACK convention, so kernels translate one-to-one to the
+// routines the paper names (xLARFG, xSYTRD, ...).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace tseig {
+
+/// Index type used for all matrix dimensions and loop bounds.  Signed so that
+/// downward loops and `i - 1` arithmetic are safe (Core Guidelines ES.102).
+using idx = std::int64_t;
+
+/// Exception thrown on invalid arguments to public entry points.
+class invalid_argument : public std::invalid_argument {
+public:
+  explicit invalid_argument(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+/// Exception thrown when an iterative kernel fails to converge.
+class convergence_error : public std::runtime_error {
+public:
+  explicit convergence_error(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Throws invalid_argument when `cond` is false.  Used to validate public API
+/// arguments; internal kernels use assertions instead.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw invalid_argument(msg);
+}
+
+/// Which triangle of a symmetric matrix is stored/referenced.
+enum class uplo : char { lower = 'L', upper = 'U' };
+
+/// Transposition flag for BLAS-like kernels.
+enum class op : char { none = 'N', trans = 'T' };
+
+/// Side on which an operator is applied.
+enum class side : char { left = 'L', right = 'R' };
+
+/// Diagonal type for triangular kernels.
+enum class diag : char { non_unit = 'N', unit = 'U' };
+
+}  // namespace tseig

@@ -1,0 +1,122 @@
+#include "lapack/aux.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace tseig::lapack {
+
+void laset(idx m, idx n, double off, double diag_value, double* a, idx lda) {
+  for (idx j = 0; j < n; ++j) {
+    double* col = a + j * lda;
+    std::fill(col, col + m, off);
+    if (j < m) col[j] = diag_value;
+  }
+}
+
+void lacpy(idx m, idx n, const double* a, idx lda, double* b, idx ldb) {
+  for (idx j = 0; j < n; ++j) {
+    std::memcpy(b + j * ldb, a + j * lda,
+                static_cast<size_t>(m) * sizeof(double));
+  }
+}
+
+void lacpy_tri(uplo ul, idx m, idx n, const double* a, idx lda, double* b,
+               idx ldb) {
+  for (idx j = 0; j < n; ++j) {
+    const idx ibeg = ul == uplo::lower ? std::min(j, m) : 0;
+    const idx iend = ul == uplo::lower ? m : std::min(j + 1, m);
+    for (idx i = ibeg; i < iend; ++i) b[i + j * ldb] = a[i + j * lda];
+  }
+}
+
+double lange(norm which, idx m, idx n, const double* a, idx lda) {
+  switch (which) {
+    case norm::max: {
+      double worst = 0.0;
+      for (idx j = 0; j < n; ++j)
+        for (idx i = 0; i < m; ++i)
+          worst = std::max(worst, std::fabs(a[i + j * lda]));
+      return worst;
+    }
+    case norm::one: {
+      double worst = 0.0;
+      for (idx j = 0; j < n; ++j) {
+        double colsum = 0.0;
+        for (idx i = 0; i < m; ++i) colsum += std::fabs(a[i + j * lda]);
+        worst = std::max(worst, colsum);
+      }
+      return worst;
+    }
+    case norm::inf: {
+      double worst = 0.0;
+      for (idx i = 0; i < m; ++i) {
+        double rowsum = 0.0;
+        for (idx j = 0; j < n; ++j) rowsum += std::fabs(a[i + j * lda]);
+        worst = std::max(worst, rowsum);
+      }
+      return worst;
+    }
+    case norm::fro: {
+      double acc = 0.0;
+      for (idx j = 0; j < n; ++j)
+        for (idx i = 0; i < m; ++i) {
+          const double v = a[i + j * lda];
+          acc += v * v;
+        }
+      return std::sqrt(acc);
+    }
+  }
+  return 0.0;
+}
+
+double lansy(norm which, uplo ul, idx n, const double* a, idx lda) {
+  auto elem = [&](idx i, idx j) {
+    const bool stored = (ul == uplo::lower) ? (i >= j) : (i <= j);
+    return stored ? a[i + j * lda] : a[j + i * lda];
+  };
+  switch (which) {
+    case norm::max: {
+      double worst = 0.0;
+      for (idx j = 0; j < n; ++j)
+        for (idx i = j; i < n; ++i)
+          worst = std::max(worst, std::fabs(elem(i, j)));
+      return worst;
+    }
+    case norm::one:
+    case norm::inf: {
+      // One-norm equals infinity-norm for symmetric matrices.
+      double worst = 0.0;
+      for (idx j = 0; j < n; ++j) {
+        double colsum = 0.0;
+        for (idx i = 0; i < n; ++i) colsum += std::fabs(elem(i, j));
+        worst = std::max(worst, colsum);
+      }
+      return worst;
+    }
+    case norm::fro: {
+      double acc = 0.0;
+      for (idx j = 0; j < n; ++j) {
+        for (idx i = j + 1; i < n; ++i) {
+          const double v = elem(i, j);
+          acc += 2.0 * v * v;
+        }
+        acc += elem(j, j) * elem(j, j);
+      }
+      return std::sqrt(acc);
+    }
+  }
+  return 0.0;
+}
+
+double lapy2(double x, double y) {
+  const double ax = std::fabs(x);
+  const double ay = std::fabs(y);
+  const double w = std::max(ax, ay);
+  const double z = std::min(ax, ay);
+  if (z == 0.0) return w;
+  const double r = z / w;
+  return w * std::sqrt(1.0 + r * r);
+}
+
+}  // namespace tseig::lapack

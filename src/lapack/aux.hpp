@@ -1,0 +1,31 @@
+// LAPACK-style auxiliary routines: initialization, copies and norms.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tseig::lapack {
+
+/// Norm selector for lange/lansy.
+enum class norm : char { max = 'M', one = 'O', inf = 'I', fro = 'F' };
+
+/// Sets the off-diagonal entries of the m-by-n matrix A to `off` and the
+/// diagonal entries to `diag` (LAPACK xLASET).
+void laset(idx m, idx n, double off, double diag_value, double* a, idx lda);
+
+/// Copies B <- A for m-by-n matrices (LAPACK xLACPY with uplo='A').
+void lacpy(idx m, idx n, const double* a, idx lda, double* b, idx ldb);
+
+/// Copies only the `ul` triangle (including the diagonal).
+void lacpy_tri(uplo ul, idx m, idx n, const double* a, idx lda, double* b,
+               idx ldb);
+
+/// Norm of a general m-by-n matrix (LAPACK xLANGE).
+double lange(norm which, idx m, idx n, const double* a, idx lda);
+
+/// Norm of a symmetric matrix referencing triangle ul (LAPACK xLANSY).
+double lansy(norm which, uplo ul, idx n, const double* a, idx lda);
+
+/// sqrt(x^2 + y^2) without unnecessary overflow (LAPACK xLAPY2).
+double lapy2(double x, double y);
+
+}  // namespace tseig::lapack

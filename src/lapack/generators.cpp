@@ -1,0 +1,84 @@
+#include "lapack/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas3.hpp"
+#include "lapack/householder.hpp"
+
+namespace tseig::lapack {
+
+std::vector<double> make_spectrum(spectrum_kind kind, idx n, double cond,
+                                  Rng& rng) {
+  std::vector<double> eigs(static_cast<size_t>(n));
+  switch (kind) {
+    case spectrum_kind::linear:
+      for (idx i = 0; i < n; ++i) eigs[i] = static_cast<double>(i + 1);
+      break;
+    case spectrum_kind::geometric:
+      for (idx i = 0; i < n; ++i) {
+        const double t = n > 1 ? static_cast<double>(i) / (n - 1) : 0.0;
+        eigs[i] = std::pow(cond, -t);
+      }
+      break;
+    case spectrum_kind::clustered:
+      // n-1 eigenvalues tightly clustered at 1, one at 1/cond.
+      for (idx i = 0; i + 1 < n; ++i)
+        eigs[i] = 1.0 + 1e-12 * static_cast<double>(i);
+      eigs[static_cast<size_t>(n - 1)] = 1.0 / cond;
+      break;
+    case spectrum_kind::two_cluster:
+      for (idx i = 0; i < n; ++i) {
+        const double base = (i < n / 2) ? -1.0 : 1.0;
+        eigs[i] = base + 1e-10 * static_cast<double>(i);
+      }
+      break;
+    case spectrum_kind::random_uniform:
+      for (idx i = 0; i < n; ++i) eigs[i] = 2.0 * rng.uniform() - 1.0;
+      break;
+  }
+  std::sort(eigs.begin(), eigs.end());
+  return eigs;
+}
+
+void random_orthogonal(idx n, Rng& rng, Matrix& q) {
+  q.reshape(n, n);
+  rng.fill_normal(q.data(), n * n);
+  std::vector<double> tau(static_cast<size_t>(n));
+  geqrf(n, n, q.data(), q.ld(), tau.data(), std::min<idx>(n, 64));
+  org2r(n, n, n, q.data(), q.ld(), tau.data());
+}
+
+Matrix symmetric_with_spectrum(const std::vector<double>& eigs, Rng& rng) {
+  const idx n = static_cast<idx>(eigs.size());
+  Matrix q;
+  random_orthogonal(n, rng, q);
+  // A = (Q diag) Q^T.
+  Matrix qd(n, n);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) qd(i, j) = q(i, j) * eigs[static_cast<size_t>(j)];
+  Matrix a(n, n);
+  blas::gemm(op::none, op::trans, n, n, n, 1.0, qd.data(), qd.ld(), q.data(),
+             q.ld(), 0.0, a.data(), a.ld());
+  // Symmetrize to kill round-off asymmetry.
+  for (idx j = 0; j < n; ++j)
+    for (idx i = j + 1; i < n; ++i) {
+      const double v = 0.5 * (a(i, j) + a(j, i));
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+Matrix random_symmetric(idx n, Rng& rng) {
+  Matrix a(n, n);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = j; i < n; ++i) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  return a;
+}
+
+}  // namespace tseig::lapack

@@ -1,0 +1,42 @@
+// Test-matrix generators (xLATMS role): symmetric matrices with a prescribed
+// spectrum, random orthogonal factors, and standard spectrum shapes used by
+// the test suite and the benchmark workload generators.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tseig::lapack {
+
+/// Shapes of prescribed spectra exercised by tests and benches.  Clustered
+/// spectra stress deflation in D&C and reorthogonalization in inverse
+/// iteration; geometric spectra stress the secular-equation solver.
+enum class spectrum_kind {
+  linear,       // lambda_i = i + 1
+  geometric,    // lambda_i = cond^(-i/(n-1)), condition number `cond`
+  clustered,    // 1, 1+eps-ish cluster ... plus one at cond
+  two_cluster,  // half near -1, half near +1
+  random_uniform  // i.i.d. uniform in (-1, 1)
+};
+
+/// Builds a spectrum of the given shape.  `cond` is used by geometric /
+/// clustered shapes.
+std::vector<double> make_spectrum(spectrum_kind kind, idx n, double cond,
+                                  Rng& rng);
+
+/// Fills `q` (n-by-n) with a Haar-ish random orthogonal matrix obtained from
+/// the QR factorization of a random Gaussian matrix.
+void random_orthogonal(idx n, Rng& rng, Matrix& q);
+
+/// Returns the full symmetric matrix A = Q diag(eigs) Q^T with Q random
+/// orthogonal.  Both triangles are filled coherently.
+Matrix symmetric_with_spectrum(const std::vector<double>& eigs, Rng& rng);
+
+/// Returns a random dense symmetric matrix with entries uniform in (-1, 1);
+/// the benchmark workload (unknown spectrum).
+Matrix random_symmetric(idx n, Rng& rng);
+
+}  // namespace tseig::lapack

@@ -1,0 +1,171 @@
+#include "lapack/householder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/blas2.hpp"
+#include "blas/blas3.hpp"
+#include "lapack/aux.hpp"
+
+namespace tseig::lapack {
+
+double larfg(idx n, double& alpha, double* x, idx incx) {
+  if (n <= 1) return 0.0;
+  double xnorm = blas::nrm2(n - 1, x, incx);
+  if (xnorm == 0.0) return 0.0;
+
+  double beta = -std::copysign(lapy2(alpha, xnorm), alpha);
+  const double safmin =
+      std::numeric_limits<double>::min() /
+      std::numeric_limits<double>::epsilon();
+  int rescaled = 0;
+  double scale = 1.0;
+  // Guard against underflow in 1/(alpha - beta) exactly as xLARFG does.
+  while (std::fabs(beta) < safmin && rescaled < 20) {
+    const double rsafmn = 1.0 / safmin;
+    blas::scal(n - 1, rsafmn, x, incx);
+    beta *= rsafmn;
+    alpha *= rsafmn;
+    scale *= safmin;
+    ++rescaled;
+    xnorm = blas::nrm2(n - 1, x, incx);
+    beta = -std::copysign(lapy2(alpha, xnorm), alpha);
+  }
+  const double tau = (beta - alpha) / beta;
+  blas::scal(n - 1, 1.0 / (alpha - beta), x, incx);
+  alpha = beta * scale;
+  return tau;
+}
+
+void larf(side sd, idx m, idx n, const double* v, idx incv, double tau,
+          double* c, idx ldc, double* work) {
+  if (tau == 0.0) return;
+  if (sd == side::left) {
+    // work = C^T v ; C -= tau v work^T
+    blas::gemv(op::trans, m, n, 1.0, c, ldc, v, incv, 0.0, work, 1);
+    blas::ger(m, n, -tau, v, incv, work, 1, c, ldc);
+  } else {
+    // work = C v ; C -= tau work v^T
+    blas::gemv(op::none, m, n, 1.0, c, ldc, v, incv, 0.0, work, 1);
+    blas::ger(m, n, -tau, work, 1, v, incv, c, ldc);
+  }
+}
+
+void larft(idx m, idx k, const double* v, idx ldv, const double* tau,
+           double* t, idx ldt) {
+  for (idx i = 0; i < k; ++i) {
+    if (tau[i] == 0.0) {
+      for (idx j = 0; j <= i; ++j) t[j + i * ldt] = 0.0;
+      continue;
+    }
+    // t(0:i, i) = -tau_i * V(:, 0:i)^T V(:, i); the explicit-diagonal storage
+    // makes this a single GEMV over the full panel height.
+    if (i > 0) {
+      blas::gemv(op::trans, m, i, -tau[i], v, ldv, v + i * ldv, 1, 0.0,
+                 t + i * ldt, 1);
+      blas::trmv(uplo::upper, op::none, diag::non_unit, i, t, ldt,
+                 t + i * ldt, 1);
+    }
+    t[i + i * ldt] = tau[i];
+  }
+}
+
+void larfb(side sd, op trans, idx m, idx n, idx k, const double* v, idx ldv,
+           const double* t, idx ldt, double* c, idx ldc, double* work) {
+  if (m == 0 || n == 0 || k == 0) return;
+  if (sd == side::left) {
+    // W (k-by-n) = V^T C ; W = op(T) W ; C -= V W.
+    blas::gemm(op::trans, op::none, k, n, m, 1.0, v, ldv, c, ldc, 0.0, work,
+               k);
+    blas::trmm(side::left, uplo::upper, trans, diag::non_unit, k, n, 1.0, t,
+               ldt, work, k);
+    blas::gemm(op::none, op::none, m, n, k, -1.0, v, ldv, work, k, 1.0, c,
+               ldc);
+  } else {
+    // W (m-by-k) = C V ; W = W op(T) ; C -= W V^T.
+    blas::gemm(op::none, op::none, m, k, n, 1.0, c, ldc, v, ldv, 0.0, work,
+               m);
+    blas::trmm(side::right, uplo::upper, trans, diag::non_unit, m, k, 1.0, t,
+               ldt, work, m);
+    blas::gemm(op::none, op::trans, m, n, k, -1.0, work, m, v, ldv, 1.0, c,
+               ldc);
+  }
+}
+
+void geqr2(idx m, idx n, double* a, idx lda, double* tau, double* work) {
+  const idx k = std::min(m, n);
+  for (idx i = 0; i < k; ++i) {
+    double* col = a + i + i * lda;
+    tau[i] = larfg(m - i, *col, col + 1, 1);
+    if (i + 1 < n && tau[i] != 0.0) {
+      // Apply H_i to the trailing columns with the implicit-unit convention.
+      const double aii = *col;
+      *col = 1.0;
+      larf(side::left, m - i, n - i - 1, col, 1, tau[i],
+           a + i + (i + 1) * lda, lda, work);
+      *col = aii;
+    }
+  }
+}
+
+void geqrf(idx m, idx n, double* a, idx lda, double* tau, idx nb) {
+  const idx k = std::min(m, n);
+  if (nb <= 1 || k <= nb) {
+    std::vector<double> work(static_cast<size_t>(std::max<idx>(m, n)));
+    geqr2(m, n, a, lda, tau, work.data());
+    return;
+  }
+  std::vector<double> work(static_cast<size_t>(std::max<idx>(m, n)));
+  std::vector<double> t(static_cast<size_t>(nb) * nb);
+  std::vector<double> v(static_cast<size_t>(m) * nb);
+  std::vector<double> wblk(static_cast<size_t>(nb) * n);
+  for (idx i = 0; i < k; i += nb) {
+    const idx ib = std::min(nb, k - i);
+    geqr2(m - i, ib, a + i + i * lda, lda, tau + i, work.data());
+    if (i + ib < n) {
+      extract_v(m - i, ib, a + i + i * lda, lda, v.data(), m - i);
+      larft(m - i, ib, v.data(), m - i, tau + i, t.data(), nb);
+      larfb(side::left, op::trans, m - i, n - i - ib, ib, v.data(), m - i,
+            t.data(), nb, a + i + (i + ib) * lda, lda, wblk.data());
+    }
+  }
+}
+
+void org2r(idx m, idx n, idx k, double* a, idx lda, const double* tau) {
+  std::vector<double> work(static_cast<size_t>(n));
+  // Columns k..n-1 start as identity columns.
+  for (idx j = k; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) a[i + j * lda] = 0.0;
+    if (j < m) a[j + j * lda] = 1.0;
+  }
+  for (idx i = k - 1; i >= 0; --i) {
+    double* col = a + i + i * lda;
+    if (i + 1 < n) {
+      const double aii = *col;
+      *col = 1.0;
+      larf(side::left, m - i, n - i - 1, col, 1, tau[i],
+           a + i + (i + 1) * lda, lda, work.data());
+      *col = aii;
+    }
+    // Column i of Q = H_i e_i = e_i - tau_i v_i.
+    const double aii = *col;
+    blas::scal(m - i - 1, -tau[i], col + 1, 1);
+    (void)aii;
+    *col = 1.0 - tau[i];
+    for (idx j = 0; j < i; ++j) a[j + i * lda] = 0.0;
+  }
+}
+
+void extract_v(idx m, idx k, const double* a, idx lda, double* v, idx ldv) {
+  for (idx j = 0; j < k; ++j) {
+    double* col = v + j * ldv;
+    for (idx i = 0; i < j && i < m; ++i) col[i] = 0.0;
+    if (j < m) col[j] = 1.0;
+    for (idx i = j + 1; i < m; ++i) col[i] = a[i + j * lda];
+  }
+}
+
+}  // namespace tseig::lapack

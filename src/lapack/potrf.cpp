@@ -1,0 +1,105 @@
+#include "lapack/potrf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "blas/blas1.hpp"
+#include "blas/blas2.hpp"
+#include "blas/blas3.hpp"
+
+namespace tseig::lapack {
+namespace {
+
+/// Unblocked lower Cholesky (xPOTF2).
+void potf2(idx n, double* a, idx lda) {
+  for (idx j = 0; j < n; ++j) {
+    double ajj = a[j + j * lda] -
+                 blas::dot(j, a + j, lda, a + j, lda);
+    if (ajj <= 0.0 || !std::isfinite(ajj))
+      throw convergence_error("potrf: matrix is not positive definite");
+    ajj = std::sqrt(ajj);
+    a[j + j * lda] = ajj;
+    if (j + 1 < n) {
+      // a(j+1:, j) = (a(j+1:, j) - A(j+1:, 0:j) a(j, 0:j)^T) / ajj
+      blas::gemv(op::none, n - j - 1, j, -1.0, a + j + 1, lda, a + j, lda,
+                 1.0, a + (j + 1) + j * lda, 1);
+      blas::scal(n - j - 1, 1.0 / ajj, a + (j + 1) + j * lda, 1);
+    }
+  }
+}
+
+}  // namespace
+
+void potrf(idx n, double* a, idx lda, idx nb) {
+  require(n >= 0, "potrf: negative n");
+  if (nb <= 1 || n <= nb) {
+    potf2(n, a, lda);
+    return;
+  }
+  for (idx j = 0; j < n; j += nb) {
+    const idx jb = std::min(nb, n - j);
+    // Update the diagonal block with the panel to its left, factor it.
+    blas::syrk(uplo::lower, op::none, jb, j, -1.0, a + j, lda, 1.0,
+               a + j + j * lda, lda);
+    potf2(jb, a + j + j * lda, lda);
+    if (j + jb < n) {
+      // Update and solve the sub-diagonal panel.
+      blas::gemm(op::none, op::trans, n - j - jb, jb, j, -1.0, a + j + jb,
+                 lda, a + j, lda, 1.0, a + (j + jb) + j * lda, lda);
+      blas::trsm(side::right, uplo::lower, op::trans, diag::non_unit,
+                 n - j - jb, jb, 1.0, a + j + j * lda, lda,
+                 a + (j + jb) + j * lda, lda);
+    }
+  }
+}
+
+void sygs2(idx n, double* a, idx lda, const double* b, idx ldb) {
+  for (idx k = 0; k < n; ++k) {
+    const double bkk = b[k + k * ldb];
+    double akk = a[k + k * lda] / (bkk * bkk);
+    a[k + k * lda] = akk;
+    const idx rest = n - k - 1;
+    if (rest > 0) {
+      blas::scal(rest, 1.0 / bkk, a + (k + 1) + k * lda, 1);
+      const double ct = -0.5 * akk;
+      blas::axpy(rest, ct, b + (k + 1) + k * ldb, 1, a + (k + 1) + k * lda, 1);
+      blas::syr2(uplo::lower, rest, -1.0, a + (k + 1) + k * lda, 1,
+                 b + (k + 1) + k * ldb, 1, a + (k + 1) + (k + 1) * lda, lda);
+      blas::axpy(rest, ct, b + (k + 1) + k * ldb, 1, a + (k + 1) + k * lda, 1);
+      blas::trsv(uplo::lower, op::none, diag::non_unit, rest,
+                 b + (k + 1) + (k + 1) * ldb, ldb, a + (k + 1) + k * lda, 1);
+    }
+  }
+}
+
+void sygst(idx n, double* a, idx lda, const double* b, idx ldb, idx nb) {
+  require(n >= 0, "sygst: negative n");
+  if (nb <= 1 || n <= nb) {
+    sygs2(n, a, lda, b, ldb);
+    return;
+  }
+  for (idx k = 0; k < n; k += nb) {
+    const idx kb = std::min(nb, n - k);
+    sygs2(kb, a + k + k * lda, lda, b + k + k * ldb, ldb);
+    const idx rest = n - k - kb;
+    if (rest > 0) {
+      // Panel update exactly as xSYGST (itype = 1, lower).
+      blas::trsm(side::right, uplo::lower, op::trans, diag::non_unit, rest,
+                 kb, 1.0, b + k + k * ldb, ldb, a + (k + kb) + k * lda, lda);
+      blas::symm(side::right, uplo::lower, rest, kb, -0.5,
+                 a + k + k * lda, lda, b + (k + kb) + k * ldb, ldb, 1.0,
+                 a + (k + kb) + k * lda, lda);
+      blas::syr2k(uplo::lower, op::none, rest, kb, -1.0,
+                  a + (k + kb) + k * lda, lda, b + (k + kb) + k * ldb, ldb,
+                  1.0, a + (k + kb) + (k + kb) * lda, lda);
+      blas::symm(side::right, uplo::lower, rest, kb, -0.5,
+                 a + k + k * lda, lda, b + (k + kb) + k * ldb, ldb, 1.0,
+                 a + (k + kb) + k * lda, lda);
+      blas::trsm(side::left, uplo::lower, op::none, diag::non_unit, rest, kb,
+                 1.0, b + (k + kb) + (k + kb) * ldb, ldb,
+                 a + (k + kb) + k * lda, lda);
+    }
+  }
+}
+
+}  // namespace tseig::lapack

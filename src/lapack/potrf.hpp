@@ -1,0 +1,29 @@
+// Cholesky factorization and the symmetric generalized-to-standard
+// eigenproblem reduction (LAPACK xPOTRF / xSYGS2 / xSYGST roles).
+//
+// The paper traces the two-stage idea to out-of-core solvers for the
+// GENERALIZED symmetric eigenproblem (Section 2, Grimes & Simon); this
+// module supplies the missing piece so the library can solve
+// A x = lambda B x end to end: factor B = L L^T, reduce to the standard
+// problem C = L^-1 A L^-T, then run any tseig eigensolver on C.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tseig::lapack {
+
+/// Cholesky factorization A = L L^T of the symmetric positive definite
+/// matrix A (lower triangle referenced and overwritten with L).
+/// Throws convergence_error if a non-positive pivot is met (A not SPD).
+/// `nb` is the blocking factor.
+void potrf(idx n, double* a, idx lda, idx nb = 64);
+
+/// Unblocked reduction of A <- inv(L) A inv(L)^T for the generalized
+/// problem (LAPACK xSYGS2, itype = 1, lower), where b holds the Cholesky
+/// factor L.  A's lower triangle is overwritten with the standard-form C.
+void sygs2(idx n, double* a, idx lda, const double* b, idx ldb);
+
+/// Blocked version (LAPACK xSYGST, itype = 1, lower).
+void sygst(idx n, double* a, idx lda, const double* b, idx ldb, idx nb = 64);
+
+}  // namespace tseig::lapack

@@ -1,0 +1,107 @@
+#include "lapack/steqr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/flops.hpp"
+#include "lapack/aux.hpp"
+
+namespace tseig::lapack {
+namespace {
+
+/// Sorts eigenvalues ascending, permuting the columns of z alongside
+/// (selection sort, exactly as xSTEQR does -- n is small relative to the
+/// O(n^3) rotation work and the permutation must move whole columns anyway).
+void sort_eigen(idx n, double* d, double* z, idx ldz, idx zrows) {
+  for (idx i = 0; i + 1 < n; ++i) {
+    idx k = i;
+    for (idx j = i + 1; j < n; ++j) {
+      if (d[j] < d[k]) k = j;
+    }
+    if (k != i) {
+      std::swap(d[i], d[k]);
+      if (z != nullptr) {
+        for (idx r = 0; r < zrows; ++r) std::swap(z[r + i * ldz], z[r + k * ldz]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void steqr(idx n, double* d, double* e, double* z, idx ldz, idx zrows) {
+  if (n <= 1) return;
+  const double eps = std::numeric_limits<double>::epsilon();
+  const idx max_sweeps = 30 * n;
+  idx sweeps = 0;
+
+  // Implicit-shift QL iteration (EISPACK tql2 lineage): for each l, chase the
+  // bottom-most unreduced block until e[l] deflates.
+  for (idx l = 0; l < n; ++l) {
+    for (;;) {
+      // Find the first small subdiagonal at or above l.
+      idx m = l;
+      while (m < n - 1) {
+        const double dd = std::fabs(d[m]) + std::fabs(d[m + 1]);
+        if (std::fabs(e[m]) <= eps * dd) break;
+        ++m;
+      }
+      if (m == l) break;  // d[l] converged.
+      if (++sweeps > max_sweeps)
+        throw convergence_error("steqr: QL iteration failed to converge");
+
+      // Wilkinson shift from the leading 2x2 of the block.
+      double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+      double r = lapy2(g, 1.0);
+      g = d[m] - d[l] + e[l] / (g + std::copysign(r, g));
+      double s = 1.0;
+      double c = 1.0;
+      double p = 0.0;
+      bool underflow = false;
+      for (idx i = m - 1; i >= l; --i) {
+        double f = s * e[i];
+        const double b = c * e[i];
+        r = lapy2(f, g);
+        e[i + 1] = r;
+        if (r == 0.0) {
+          // Recover from underflow: split the matrix here and retry the
+          // whole block (classic tql2 recovery path).
+          d[i + 1] -= p;
+          e[m] = 0.0;
+          underflow = true;
+          break;
+        }
+        s = f / r;
+        c = g / r;
+        g = d[i + 1] - p;
+        r = (d[i] - g) * s + 2.0 * c * b;
+        p = s * r;
+        d[i + 1] = g + p;
+        g = c * r - b;
+        if (z != nullptr) {
+          // Accumulate the rotation into columns i, i+1 of z.
+          count_flops(6 * zrows);
+          double* zi = z + i * ldz;
+          double* zi1 = z + (i + 1) * ldz;
+          for (idx k = 0; k < zrows; ++k) {
+            f = zi1[k];
+            zi1[k] = s * zi[k] + c * f;
+            zi[k] = c * zi[k] - s * f;
+          }
+        }
+      }
+      if (underflow) continue;
+      d[l] -= p;
+      e[l] = g;
+      e[m] = 0.0;
+    }
+  }
+  sort_eigen(n, d, z, ldz, zrows);
+}
+
+void sterf(idx n, double* d, double* e) { steqr(n, d, e, nullptr, 0, 0); }
+
+}  // namespace tseig::lapack

@@ -1,0 +1,34 @@
+// Symmetric tridiagonal eigensolvers by implicit-shift QL/QR iteration
+// (LAPACK xSTEQR / xSTERF equivalents).
+//
+// In the paper's taxonomy (Table 1) this is the "EV / QR" method: O(n^2) for
+// eigenvalues, ~6 n^3 for eigenvectors because every rotation is applied to
+// the dense Z.  It serves two roles in tseig: the robust reference
+// eigensolver used by tests, and the leaf solver of the divide-and-conquer
+// implementation in src/tridiag.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tseig::lapack {
+
+/// Computes all eigenvalues, and optionally eigenvectors, of the symmetric
+/// tridiagonal matrix with diagonal d[0..n) and subdiagonal e[0..n-1).
+///
+/// NOTE: `e` must have capacity n (one more than the n-1 significant
+/// entries); e[n-1] is used as scratch during the bulge chase.
+///
+/// On exit d holds the eigenvalues in ascending order and e is destroyed.
+/// When z != nullptr it must be an ldz-by-n matrix; on entry it contains the
+/// matrix used to accumulate rotations (identity for eigenvectors of T
+/// itself, or Q for eigenvectors of Q T Q^T); on exit column j corresponds
+/// to eigenvalue d[j].  `zrows` is the number of rows of z to update.
+///
+/// Throws convergence_error if an off-diagonal fails to deflate within the
+/// standard 30n sweep budget (does not happen for finite input in practice).
+void steqr(idx n, double* d, double* e, double* z, idx ldz, idx zrows);
+
+/// Eigenvalues-only variant (LAPACK xSTERF role).
+void sterf(idx n, double* d, double* e);
+
+}  // namespace tseig::lapack

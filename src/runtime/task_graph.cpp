@@ -1,0 +1,159 @@
+#include "runtime/task_graph.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+#include "common/timer.hpp"
+
+namespace tseig::rt {
+
+void TaskGraph::add_edge(idx from, idx to) {
+  if (from == to || from < 0) return;
+  auto& succ = tasks_[static_cast<size_t>(from)].successors;
+  // Duplicate edges would double-count unmet_dependencies; accesses of one
+  // task frequently share predecessors, so filter here.  Successor lists are
+  // short (band reduction: O(tiles); bulge chasing: <= 3).
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) return;
+  succ.push_back(to);
+  ++tasks_[static_cast<size_t>(to)].unmet_dependencies;
+  ++edge_count_;
+}
+
+idx TaskGraph::submit(std::function<void()> fn,
+                      const std::vector<Access>& accesses,
+                      const Options& opts) {
+  const idx id = static_cast<idx>(tasks_.size());
+  Task t;
+  t.fn = std::move(fn);
+  t.priority = opts.priority;
+  t.worker_hint = opts.worker_hint;
+  t.label = opts.label;
+  tasks_.push_back(std::move(t));
+
+  for (const Access& a : accesses) {
+    RegionState& st = regions_[a.region];
+    if (a.mode == access::read) {
+      // RAW: wait for the last writer.
+      add_edge(st.last_writer, id);
+      st.readers_since_write.push_back(id);
+    } else {
+      // WAW + WAR: wait for the last writer and every reader since.
+      add_edge(st.last_writer, id);
+      for (idx r : st.readers_since_write) add_edge(r, id);
+      st.readers_since_write.clear();
+      st.last_writer = id;
+    }
+  }
+  return id;
+}
+
+void TaskGraph::run(int num_workers) {
+  require(num_workers >= 1, "TaskGraph::run: need at least one worker");
+  trace_.clear();
+
+  struct ReadyEntry {
+    int priority;
+    idx order;  // submission order; earlier first among equal priorities
+    idx task;
+    bool operator<(const ReadyEntry& o) const {
+      if (priority != o.priority) return priority < o.priority;
+      return order > o.order;  // max-heap: smaller order should win
+    }
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::priority_queue<ReadyEntry> shared_ready;
+  // Per-worker FIFO queues for pinned tasks.
+  std::vector<std::queue<idx>> pinned(static_cast<size_t>(num_workers));
+  idx remaining = static_cast<idx>(tasks_.size());
+  std::exception_ptr first_error;
+  WallTimer clock;
+
+  auto enqueue_ready = [&](idx id) {
+    // Caller holds `mu`.
+    Task& t = tasks_[static_cast<size_t>(id)];
+    if (t.worker_hint >= 0) {
+      pinned[static_cast<size_t>(t.worker_hint % num_workers)].push(id);
+    } else {
+      shared_ready.push({t.priority, id, id});
+    }
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (idx id = 0; id < static_cast<idx>(tasks_.size()); ++id) {
+      if (tasks_[static_cast<size_t>(id)].unmet_dependencies == 0)
+        enqueue_ready(id);
+    }
+  }
+
+  auto worker_loop = [&](int worker_id) {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      // Pinned tasks first (they are on this worker's critical path by
+      // construction), then the shared pool.
+      idx id = -1;
+      auto& mine = pinned[static_cast<size_t>(worker_id)];
+      if (!mine.empty()) {
+        id = mine.front();
+        mine.pop();
+      } else if (!shared_ready.empty()) {
+        id = shared_ready.top().task;
+        shared_ready.pop();
+      } else {
+        if (remaining == 0) return;
+        cv.wait(lock);
+        continue;
+      }
+
+      Task& t = tasks_[static_cast<size_t>(id)];
+      lock.unlock();
+      const double t0 = clock.seconds();
+      try {
+        t.fn();
+      } catch (...) {
+        lock.lock();
+        if (!first_error) first_error = std::current_exception();
+        // Keep draining: successors of a failed task still release so the
+        // run terminates; results are discarded because run() rethrows.
+        lock.unlock();
+      }
+      const double t1 = clock.seconds();
+      lock.lock();
+      if (tracing_) {
+        trace_.push_back({t.label, worker_id, t0, t1});
+      }
+      bool woke_pinned_other = false;
+      for (idx s : t.successors) {
+        Task& succ = tasks_[static_cast<size_t>(s)];
+        if (--succ.unmet_dependencies == 0) {
+          enqueue_ready(s);
+          if (succ.worker_hint >= 0 &&
+              succ.worker_hint % num_workers != worker_id)
+            woke_pinned_other = true;
+        }
+      }
+      --remaining;
+      if (remaining == 0 || !t.successors.empty() || woke_pinned_other)
+        cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_workers) - 1);
+  for (int w = 1; w < num_workers; ++w) threads.emplace_back(worker_loop, w);
+  worker_loop(0);
+  for (auto& th : threads) th.join();
+
+  tasks_.clear();
+  regions_.clear();
+  edge_count_ = 0;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace tseig::rt

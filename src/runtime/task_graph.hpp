@@ -1,0 +1,142 @@
+// Task-graph runtime with automatic data-dependence tracking.
+//
+// This is tseig's equivalent of the PLASMA dynamic runtime the paper builds
+// on (QUARK): algorithms submit tasks together with the set of logical data
+// regions each task reads and writes; the runtime derives the DAG from the
+// standard hazards (read-after-write, write-after-read, write-after-write)
+// and executes it on a worker pool.
+//
+// Two scheduling ingredients from the paper's Section 6 are supported:
+//  * dynamic scheduling -- any idle worker picks the highest-priority ready
+//    task (priorities let the caller keep the critical path moving);
+//  * static mapping -- a task may carry a worker hint that pins it to one
+//    worker, used to confine the memory-bound bulge chasing to a small core
+//    subset and to give the eigenvector update its communication-free
+//    per-core column-block ownership (Figure 3c).
+//
+// Regions are opaque 64-bit keys.  This is the paper's "data translation
+// layer" (DTL): bulge chasing tasks touch *overlapping* windows of the band
+// array, so pointer ranges cannot express their dependences; instead the
+// algorithm maps each window onto logical keys (sweep/block coordinates) and
+// the runtime sequences tasks by key.  Helper `region_key` builds keys from
+// coordinate pairs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tseig::rt {
+
+/// Access mode of a task on a region.
+enum class access : std::uint8_t { read, write };
+
+/// One region access declaration.
+struct Access {
+  std::uint64_t region = 0;
+  access mode = access::read;
+};
+
+/// Builds a region key from a tag and two coordinates (e.g. tile indices or
+/// sweep/block indices).  Tags keep different arrays' keys disjoint.
+constexpr std::uint64_t region_key(std::uint32_t tag, std::uint32_t i,
+                                   std::uint32_t j) {
+  return (static_cast<std::uint64_t>(tag) << 48) ^
+         (static_cast<std::uint64_t>(i) << 24) ^ static_cast<std::uint64_t>(j);
+}
+
+/// Convenience factories for access declarations.
+inline Access rd(std::uint64_t region) { return {region, access::read}; }
+inline Access wr(std::uint64_t region) { return {region, access::write}; }
+
+/// Execution trace entry (enabled via TaskGraph::enable_tracing).
+struct TraceEvent {
+  std::string label;
+  int worker = 0;
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+};
+
+/// A dependency-tracked task graph.  Usage:
+///
+///   TaskGraph g;
+///   g.submit([..]{ kernel(..); }, {rd(keyA), wr(keyB)}, {.priority = 2});
+///   ...
+///   g.run(num_workers);
+///
+/// submit() derives dependences from the access declarations in submission
+/// order, i.e. the graph executes *as if* the tasks ran serially in the
+/// order submitted (sequential consistency per region), with everything
+/// independent free to run concurrently.
+class TaskGraph {
+public:
+  /// Per-task scheduling options.
+  struct Options {
+    /// Larger values run earlier among ready tasks.
+    int priority = 0;
+    /// >= 0 pins the task to worker (hint % num_workers); -1 lets any worker
+    /// run it.
+    int worker_hint = -1;
+    /// Label recorded in traces.
+    const char* label = "";
+  };
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Submits a task with its region access list.  Returns the task id.
+  idx submit(std::function<void()> fn, const std::vector<Access>& accesses,
+             const Options& opts);
+  idx submit(std::function<void()> fn, const std::vector<Access>& accesses) {
+    return submit(std::move(fn), accesses, Options());
+  }
+
+  /// Executes the whole graph on `num_workers` threads (>=1).  The calling
+  /// thread acts as worker 0.  Rethrows the first task exception after all
+  /// workers have drained.  The graph is left empty and reusable.
+  void run(int num_workers);
+
+  /// Number of tasks currently submitted.
+  idx size() const { return static_cast<idx>(tasks_.size()); }
+
+  /// Total dependency edges derived so far (for tests/diagnostics).
+  idx edges() const { return edge_count_; }
+
+  /// Enables collection of per-task trace events during the next run().
+  void enable_tracing(bool on) { tracing_ = on; }
+
+  /// Trace of the last run() (empty unless tracing was enabled).
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+private:
+  struct Task {
+    std::function<void()> fn;
+    std::vector<idx> successors;
+    idx unmet_dependencies = 0;
+    int priority = 0;
+    int worker_hint = -1;
+    std::string label;
+  };
+
+  /// Hazard-tracking state per region.
+  struct RegionState {
+    idx last_writer = -1;
+    std::vector<idx> readers_since_write;
+  };
+
+  void add_edge(idx from, idx to);
+
+  std::vector<Task> tasks_;
+  // Region key -> hazard state.
+  std::unordered_map<std::uint64_t, RegionState> regions_;
+  idx edge_count_ = 0;
+  bool tracing_ = false;
+  std::vector<TraceEvent> trace_;
+};
+
+}  // namespace tseig::rt

@@ -1,0 +1,47 @@
+#include "runtime/trace_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace tseig::rt {
+
+std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) out << ",";
+    first = false;
+    // Complete event ("X"): ts/dur in microseconds.
+    out << "{\"name\":\"" << (ev.label.empty() ? "task" : ev.label)
+        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.worker
+        << ",\"ts\":" << ev.start_seconds * 1e6
+        << ",\"dur\":" << (ev.end_seconds - ev.start_seconds) * 1e6 << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("write_chrome_trace: cannot open " + path);
+  f << to_chrome_trace(events);
+  if (!f) throw std::runtime_error("write_chrome_trace: write failed");
+}
+
+TraceSummary summarize(const std::vector<TraceEvent>& events) {
+  TraceSummary s;
+  s.tasks = static_cast<idx>(events.size());
+  for (const TraceEvent& ev : events) {
+    if (static_cast<size_t>(ev.worker) >= s.busy_seconds.size())
+      s.busy_seconds.resize(static_cast<size_t>(ev.worker) + 1, 0.0);
+    s.busy_seconds[static_cast<size_t>(ev.worker)] +=
+        ev.end_seconds - ev.start_seconds;
+    s.makespan = std::max(s.makespan, ev.end_seconds);
+  }
+  return s;
+}
+
+}  // namespace tseig::rt

@@ -1,0 +1,30 @@
+// Trace export: writes the runtime's task execution trace in the Chrome
+// tracing JSON format (chrome://tracing, Perfetto), the standard way to
+// inspect DAG schedules like the paper's Figure 2 kernel-execution diagram.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/task_graph.hpp"
+
+namespace tseig::rt {
+
+/// Serializes trace events as a Chrome-tracing JSON string ("traceEvents"
+/// array of complete events; one row per worker).
+std::string to_chrome_trace(const std::vector<TraceEvent>& events);
+
+/// Writes the JSON to a file.  Throws on I/O failure.
+void write_chrome_trace(const std::vector<TraceEvent>& events,
+                        const std::string& path);
+
+/// Per-worker utilization summary of a trace: busy seconds per worker and
+/// the makespan, for quick load-balance diagnostics in tests and benches.
+struct TraceSummary {
+  std::vector<double> busy_seconds;  // indexed by worker
+  double makespan = 0.0;
+  idx tasks = 0;
+};
+TraceSummary summarize(const std::vector<TraceEvent>& events);
+
+}  // namespace tseig::rt

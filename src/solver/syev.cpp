@@ -1,0 +1,257 @@
+#include "solver/syev.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/flops.hpp"
+#include "common/timer.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/steqr.hpp"
+#include "onestage/sytrd.hpp"
+#include "tridiag/bisect.hpp"
+#include "tridiag/stedc.hpp"
+#include "twostage/q2_apply.hpp"
+#include "twostage/sb2st.hpp"
+#include "twostage/sy2sb.hpp"
+
+namespace tseig::solver {
+namespace {
+
+/// Automatic tile/band width (opts.nb == 0): the Section 7.1 compromise.
+/// Stage 1 wants large tiles (Level-3 efficiency grows until ~nb = 64..128
+/// on current cores); stage 2 pays 6 n^2 nb memory-bound flops and needs the
+/// working set (a 2nb x 2nb window) inside L2.  Scaling nb ~ n/16 between
+/// those bounds tracks the measured optimum of bench_fig5_tilesize.
+idx auto_nb(idx n) {
+  const idx nb = n / 16;
+  return std::clamp<idx>(nb - nb % 8, 32, 96);
+}
+
+/// Number of eigenvector columns implied by the fraction option.
+idx subset_size(idx n, const SyevOptions& opts) {
+  if (opts.job == jobz::values_only) return 0;
+  const double f = std::clamp(opts.fraction, 0.0, 1.0);
+  return std::max<idx>(1, static_cast<idx>(std::llround(f * static_cast<double>(n))));
+}
+
+/// Subset eigen-solution of the tridiagonal (d, e): bisection eigenvalues
+/// honoring the range selection, then inverse iteration when vectors are
+/// requested.  Returns the eigenvalues; fills z (n-by-w.size()).
+std::vector<double> tridiag_subset(idx n, const double* d, const double* e,
+                                   const SyevOptions& opts, idx m_default,
+                                   Matrix& z) {
+  std::vector<double> w;
+  switch (opts.sel) {
+    case range::by_index:
+      require(0 <= opts.il && opts.il <= opts.iu && opts.iu < n,
+              "syev: bad index range");
+      w = tridiag::stebz_index(n, d, e, opts.il, opts.iu);
+      break;
+    case range::by_value:
+      require(opts.vl < opts.vu, "syev: bad value range");
+      w = tridiag::stebz_value(n, d, e, opts.vl, opts.vu);
+      break;
+    case range::all:
+      w = tridiag::stebz_index(n, d, e, 0, m_default - 1);
+      break;
+  }
+  if (opts.job == jobz::vectors && !w.empty()) {
+    z.reshape(n, static_cast<idx>(w.size()));
+    tridiag::stein(n, d, e, w, z.data(), z.ld());
+  }
+  return w;
+}
+
+/// Phase timing helper: runs fn, accumulating seconds and flops.
+template <class F>
+void timed(double& seconds, std::uint64_t& flops, F&& fn) {
+  WallTimer t;
+  FlopScope scope;
+  fn();
+  seconds += t.seconds();
+  flops += scope.count();
+}
+
+SyevResult solve_one_stage(idx n, const double* a, idx lda,
+                           const SyevOptions& opts) {
+  SyevResult res;
+  const idx m = subset_size(n, opts);
+
+  Matrix work(n, n);
+  lapack::lacpy(n, n, a, lda, work.data(), work.ld());
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n)),
+      tau(static_cast<size_t>(n));
+
+  timed(res.phases.reduction_seconds, res.phases.reduction_flops, [&] {
+    onestage::sytrd(n, work.data(), work.ld(), d.data(), e.data(), tau.data(),
+                    std::min(opts.nb, n));
+  });
+
+  if (opts.job == jobz::values_only && opts.sel == range::all &&
+      opts.solver != eig_solver::bisect) {
+    timed(res.phases.solve_seconds, res.phases.solve_flops,
+          [&] { lapack::sterf(n, d.data(), e.data()); });
+    res.eigenvalues = d;
+    return res;
+  }
+  if (opts.sel != range::all || opts.solver == eig_solver::bisect) {
+    // Subset path (MRRR role): bisection + inverse iteration.
+    std::vector<double> w;
+    timed(res.phases.solve_seconds, res.phases.solve_flops,
+          [&] {
+            w = tridiag_subset(
+                n, d.data(), e.data(), opts,
+                opts.job == jobz::values_only ? n : m, res.z);
+          });
+    res.eigenvalues = w;
+    if (opts.job == jobz::vectors && res.z.cols() > 0) {
+      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+        onestage::ormtr(op::none, n, res.z.cols(), work.data(), work.ld(),
+                        tau.data(), res.z.data(), res.z.ld(), opts.nb);
+      });
+    }
+    return res;
+  }
+
+  switch (opts.solver) {
+    case eig_solver::qr: {
+      // Q built explicitly (Table 1's "Gen Q"), rotations accumulate in it.
+      Matrix q(n, n);
+      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+        lapack::laset(n, n, 0.0, 1.0, q.data(), q.ld());
+        onestage::ormtr(op::none, n, n, work.data(), work.ld(), tau.data(),
+                        q.data(), q.ld(), opts.nb);
+      });
+      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+        lapack::steqr(n, d.data(), e.data(), q.data(), q.ld(), n);
+      });
+      res.eigenvalues = d;
+      res.z.reshape(n, m);
+      lapack::lacpy(n, m, q.data(), q.ld(), res.z.data(), res.z.ld());
+      break;
+    }
+    case eig_solver::dc: {
+      Matrix evec(n, n);
+      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(),
+                       opts.dc_crossover);
+      });
+      res.eigenvalues = d;
+      res.z.reshape(n, m);
+      lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
+      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+        onestage::ormtr(op::none, n, m, work.data(), work.ld(), tau.data(),
+                        res.z.data(), res.z.ld(), opts.nb);
+      });
+      break;
+    }
+    case eig_solver::bisect:
+      break;  // handled by the subset path above
+  }
+  return res;
+}
+
+SyevResult solve_two_stage(idx n, const double* a, idx lda,
+                           const SyevOptions& opts) {
+  SyevResult res;
+  const idx m = subset_size(n, opts);
+  const idx nb = std::min(opts.nb, std::max<idx>(2, n - 1));
+
+  twostage::Sy2sbResult s1;
+  timed(res.phases.stage1_seconds, res.phases.reduction_flops,
+        [&] { s1 = twostage::sy2sb(n, a, lda, nb, opts.num_workers); });
+
+  twostage::Sb2stResult s2;
+  timed(res.phases.stage2_seconds, res.phases.reduction_flops, [&] {
+    twostage::Sb2stOptions o2;
+    o2.num_workers = opts.num_workers;
+    o2.stage2_workers = opts.stage2_workers;
+    o2.group = opts.group;
+    s2 = twostage::sb2st(s1.band, o2);
+  });
+  res.phases.reduction_seconds =
+      res.phases.stage1_seconds + res.phases.stage2_seconds;
+
+  std::vector<double>& d = s2.d;
+  std::vector<double>& e = s2.e;
+
+  if (opts.job == jobz::values_only && opts.sel == range::all &&
+      opts.solver != eig_solver::bisect) {
+    timed(res.phases.solve_seconds, res.phases.solve_flops,
+          [&] { lapack::sterf(n, d.data(), e.data()); });
+    res.eigenvalues = d;
+    return res;
+  }
+  if (opts.sel != range::all || opts.solver == eig_solver::bisect) {
+    // Subset path; back-transformation below handles whatever came back.
+    std::vector<double> w;
+    timed(res.phases.solve_seconds, res.phases.solve_flops,
+          [&] {
+            w = tridiag_subset(
+                n, d.data(), e.data(), opts,
+                opts.job == jobz::values_only ? n : m, res.z);
+          });
+    res.eigenvalues = w;
+    if (opts.job == jobz::vectors && res.z.cols() > 0) {
+      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+        twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(),
+                           res.z.cols(), opts.ell, opts.num_workers);
+        twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(),
+                           res.z.cols(), opts.num_workers);
+      });
+    }
+    return res;
+  }
+
+  // Phase 2: eigenpairs of T.
+  switch (opts.solver) {
+    case eig_solver::qr: {
+      Matrix evec(n, n);
+      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+        lapack::laset(n, n, 0.0, 1.0, evec.data(), evec.ld());
+        lapack::steqr(n, d.data(), e.data(), evec.data(), evec.ld(), n);
+      });
+      res.eigenvalues = d;
+      res.z.reshape(n, m);
+      lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
+      break;
+    }
+    case eig_solver::dc: {
+      Matrix evec(n, n);
+      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(),
+                       opts.dc_crossover);
+      });
+      res.eigenvalues = d;
+      res.z.reshape(n, m);
+      lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
+      break;
+    }
+    case eig_solver::bisect:
+      break;  // handled by the subset path above
+  }
+
+  // Back-transformation Z = Q1 Q2 E (Eq. 3): the 4 n^3 f phase that the
+  // diamond-blocked Q2 and tiled Q1 keep compute-bound.
+  timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+    twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(), m, opts.ell,
+                       opts.num_workers);
+    twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(), m,
+                       opts.num_workers);
+  });
+  return res;
+}
+
+}  // namespace
+
+SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
+  require(n >= 1, "syev: empty matrix");
+  require(opts.fraction > 0.0 && opts.fraction <= 1.0,
+          "syev: fraction must be in (0, 1]");
+  SyevOptions o = opts;
+  if (o.nb <= 0) o.nb = auto_nb(n);
+  if (o.algo == method::one_stage) return solve_one_stage(n, a, lda, o);
+  return solve_two_stage(n, a, lda, o);
+}
+
+}  // namespace tseig::solver

@@ -1,0 +1,102 @@
+// Public eigensolver front-end: dense symmetric eigenvalue problems with
+// either the classic one-stage reduction (the paper's baseline, MKL DSYEV*
+// role) or the paper's two-stage algorithm, combined with any of the three
+// tridiagonal solvers of Table 1:
+//
+//   | routine | method | phase-2 solver            |
+//   |---------|--------|---------------------------|
+//   | EV      | QR     | implicit QL/QR iteration  |
+//   | EVD     | D&C    | divide and conquer        |
+//   | EVR     | MRRR   | bisection + inverse iter. |
+//
+// The driver instruments every phase (reduction stage 1/2, tridiagonal
+// solve, back-transformation) with wall time and flop counts; Figure 1 and
+// Table 1 benches read these directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace tseig::solver {
+
+/// Reduction algorithm.
+enum class method { one_stage, two_stage };
+
+/// Tridiagonal eigensolver (phase 2).
+enum class eig_solver { qr, dc, bisect };
+
+/// What to compute.
+enum class jobz { values_only, vectors };
+
+/// Which part of the spectrum to compute (xSYEVR-style range selection).
+enum class range {
+  all,       // everything (fraction still applies to eigenvectors)
+  by_index,  // eigenvalues il..iu (0-based, inclusive)
+  by_value   // eigenvalues in (vl, vu]
+};
+
+/// Tuning and scheduling options.
+struct SyevOptions {
+  method algo = method::two_stage;
+  eig_solver solver = eig_solver::dc;
+  jobz job = jobz::vectors;
+  /// Fraction f of eigenvectors to compute (smallest eigenvalues first),
+  /// 0 < f <= 1.  Eq. (4)/(5)'s f; Figure 4d uses 0.2.  Only used with
+  /// range::all.
+  double fraction = 1.0;
+  /// Spectrum selection.  by_index / by_value force the bisect solver.
+  range sel = range::all;
+  idx il = 0;       // by_index: first 0-based index
+  idx iu = 0;       // by_index: last 0-based index (inclusive)
+  double vl = 0.0;  // by_value: open lower bound
+  double vu = 0.0;  // by_value: closed upper bound
+  /// Band width / tile size for the two-stage path; panel width one-stage.
+  /// 0 selects automatically from the Section 7.1 trade-off: large enough
+  /// for Level-3 stage-1 kernels, small enough that the O(n^2 nb) bulge
+  /// chase and its cache footprint stay cheap.
+  idx nb = 48;
+  /// Diamond grouping (sweeps per WY block) in the Q2 application.
+  idx ell = 32;
+  /// Workers for the task runtime (1 = fully sequential).
+  int num_workers = 1;
+  /// Worker subset for the memory-bound bulge chasing (0 = all).
+  int stage2_workers = 0;
+  /// Chase hops coalesced per stage-2 task.
+  idx group = 4;
+  /// D&C crossover to QL/QR.
+  idx dc_crossover = 32;
+};
+
+/// Per-phase instrumentation (seconds and nominal flops).
+struct PhaseBreakdown {
+  double reduction_seconds = 0.0;  // stage 1 + stage 2 (or sytrd)
+  double stage1_seconds = 0.0;     // two-stage only: dense -> band
+  double stage2_seconds = 0.0;     // two-stage only: bulge chasing
+  double solve_seconds = 0.0;      // eigen of T
+  double update_seconds = 0.0;     // back-transformation(s)
+  std::uint64_t reduction_flops = 0;
+  std::uint64_t solve_flops = 0;
+  std::uint64_t update_flops = 0;
+  double total_seconds() const {
+    return reduction_seconds + solve_seconds + update_seconds;
+  }
+};
+
+/// Result of a solve.
+struct SyevResult {
+  /// Eigenvalues ascending.  All n for solver qr/dc; exactly the computed
+  /// subset (m = ceil(f n) smallest) for solver bisect with f < 1.
+  std::vector<double> eigenvalues;
+  /// Eigenvectors as columns (n-by-m, m = ceil(f n)); empty for values_only.
+  Matrix z;
+  PhaseBreakdown phases;
+};
+
+/// Solves the dense symmetric eigenproblem for A (lower triangle referenced,
+/// not modified).
+SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts);
+
+}  // namespace tseig::solver

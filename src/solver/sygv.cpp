@@ -1,0 +1,36 @@
+#include "solver/sygv.hpp"
+
+#include "blas/blas3.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/potrf.hpp"
+
+namespace tseig::solver {
+
+SyevResult sygv(idx n, const double* a, idx lda, const double* b, idx ldb,
+                const SyevOptions& opts) {
+  require(n >= 1, "sygv: empty problem");
+
+  // B = L L^T.
+  Matrix l(n, n);
+  lapack::lacpy(n, n, b, ldb, l.data(), l.ld());
+  lapack::potrf(n, l.data(), l.ld(), opts.nb > 0 ? opts.nb : 64);
+
+  // C = inv(L) A inv(L)^T, lower triangle.
+  Matrix c(n, n);
+  lapack::lacpy(n, n, a, lda, c.data(), c.ld());
+  lapack::sygst(n, c.data(), c.ld(), l.data(), l.ld(),
+                opts.nb > 0 ? opts.nb : 64);
+
+  // Standard solve with the requested configuration.
+  SyevResult res = syev(n, c.data(), c.ld(), opts);
+
+  // Back-substitute the eigenvectors: x = L^-T z (itype = 1).
+  if (res.z.cols() > 0) {
+    blas::trsm(side::left, uplo::lower, op::trans, diag::non_unit, n,
+               res.z.cols(), 1.0, l.data(), l.ld(), res.z.data(),
+               res.z.ld());
+  }
+  return res;
+}
+
+}  // namespace tseig::solver

@@ -1,0 +1,22 @@
+// Generalized symmetric-definite eigenproblem driver (LAPACK xSYGV role):
+//   A x = lambda B x,  A symmetric, B symmetric positive definite.
+//
+// Reduction to standard form via B's Cholesky factor (C = L^-1 A L^-T),
+// then any tseig eigensolver configuration (one-/two-stage, D&C/QR/bisect,
+// fraction/range subsets) solves C; eigenvectors are back-substituted
+// (x = L^-T z) and come out B-orthonormal.  This closes the loop with the
+// problem class where two-stage reductions originated (paper Section 2).
+#pragma once
+
+#include "solver/syev.hpp"
+
+namespace tseig::solver {
+
+/// Solves A x = lambda B x.  The lower triangles of `a` and `b` are
+/// referenced; neither matrix is modified.  Throws convergence_error if B is
+/// not positive definite.  Result semantics match syev, except the
+/// eigenvector columns satisfy X^T B X = I.
+SyevResult sygv(idx n, const double* a, idx lda, const double* b, idx ldb,
+                const SyevOptions& opts);
+
+}  // namespace tseig::solver

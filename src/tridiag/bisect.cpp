@@ -1,0 +1,190 @@
+#include "tridiag/bisect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "blas/blas1.hpp"
+#include "common/rng.hpp"
+
+namespace tseig::tridiag {
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+constexpr double kSafmin = std::numeric_limits<double>::min();
+
+/// Gershgorin interval [gl, gu] of the tridiagonal.
+void gershgorin(idx n, const double* d, const double* e, double& gl,
+                double& gu) {
+  gl = d[0];
+  gu = d[0];
+  for (idx i = 0; i < n; ++i) {
+    const double r = (i > 0 ? std::fabs(e[i - 1]) : 0.0) +
+                     (i + 1 < n ? std::fabs(e[i]) : 0.0);
+    gl = std::min(gl, d[i] - r);
+    gu = std::max(gu, d[i] + r);
+  }
+  const double pad = kEps * std::max(std::fabs(gl), std::fabs(gu)) + kSafmin;
+  gl -= 2.0 * pad;
+  gu += 2.0 * pad;
+}
+
+double pivmin_of(idx n, const double* e) {
+  double m = kSafmin;
+  for (idx i = 0; i + 1 < n; ++i) m = std::max(m, e[i] * e[i] * kSafmin);
+  return m;
+}
+
+/// Bisects [lo, hi] (with counts clo <= target < chi) until the eigenvalue
+/// with 0-based index `target` is pinned to machine accuracy.
+double bisect_one(idx n, const double* d, const double* e, idx target,
+                  double lo, double hi) {
+  for (int it = 0; it < 128; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid == lo || mid == hi) break;
+    if (hi - lo <= 2.0 * kEps * std::max(std::fabs(lo), std::fabs(hi)) + kSafmin)
+      break;
+    if (sturm_count(n, d, e, mid) <= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+idx sturm_count(idx n, const double* d, const double* e, double x) {
+  const double pivmin = pivmin_of(n, e);
+  idx count = 0;
+  double q = d[0] - x;
+  if (std::fabs(q) < pivmin) q = -pivmin;
+  if (q < 0.0) ++count;
+  for (idx i = 1; i < n; ++i) {
+    q = d[i] - x - e[i - 1] * e[i - 1] / q;
+    if (std::fabs(q) < pivmin) q = -pivmin;
+    if (q < 0.0) ++count;
+  }
+  return count;
+}
+
+std::vector<double> stebz_index(idx n, const double* d, const double* e,
+                                idx il, idx iu) {
+  require(0 <= il && il <= iu && iu < n, "stebz_index: bad index range");
+  double gl, gu;
+  gershgorin(n, d, e, gl, gu);
+  std::vector<double> w;
+  w.reserve(static_cast<size_t>(iu - il + 1));
+  for (idx t = il; t <= iu; ++t)
+    w.push_back(bisect_one(n, d, e, t, gl, gu));
+  return w;
+}
+
+std::vector<double> stebz_value(idx n, const double* d, const double* e,
+                                double vl, double vu) {
+  require(vl < vu, "stebz_value: bad interval");
+  const idx il = sturm_count(n, d, e, vl);        // eigenvalues <= vl excluded
+  const idx iu = sturm_count(n, d, e, vu);        // eigenvalues <= vu counted
+  if (iu <= il) return {};
+  return stebz_index(n, d, e, il, iu - 1);
+}
+
+namespace {
+
+/// Solves (T - lambda I) x = b with partial pivoting (xGTSV-style); b is
+/// overwritten with x.  d/e define T; scratch arrays provided by caller.
+void tridiag_solve(idx n, const double* d, const double* e, double lambda,
+                   double pivmin, double* dl, double* dd, double* du,
+                   double* du2, double* b) {
+  for (idx i = 0; i < n; ++i) dd[i] = d[i] - lambda;
+  for (idx i = 0; i + 1 < n; ++i) {
+    dl[i] = e[i];
+    du[i] = e[i];
+  }
+  for (idx i = 0; i + 2 < n; ++i) du2[i] = 0.0;
+
+  for (idx i = 0; i + 1 < n; ++i) {
+    if (std::fabs(dd[i]) >= std::fabs(dl[i])) {
+      if (std::fabs(dd[i]) < pivmin) dd[i] = std::copysign(pivmin, dd[i]);
+      const double m = dl[i] / dd[i];
+      dd[i + 1] -= m * du[i];
+      b[i + 1] -= m * b[i];
+    } else {
+      const double m = dd[i] / dl[i];
+      const double t_dd1 = dd[i + 1];
+      const double t_du1 = (i + 2 < n) ? du[i + 1] : 0.0;
+      dd[i] = dl[i];
+      const double old_du = du[i];
+      du[i] = t_dd1;
+      if (i + 2 < n) {
+        du2[i] = t_du1;
+        du[i + 1] = -m * t_du1;
+      }
+      dd[i + 1] = old_du - m * t_dd1;
+      std::swap(b[i], b[i + 1]);
+      b[i + 1] -= m * b[i];
+    }
+  }
+  if (std::fabs(dd[n - 1]) < pivmin)
+    dd[n - 1] = std::copysign(pivmin, dd[n - 1] == 0.0 ? 1.0 : dd[n - 1]);
+  b[n - 1] /= dd[n - 1];
+  if (n >= 2) {
+    b[n - 2] = (b[n - 2] - du[n - 2] * b[n - 1]) / dd[n - 2];
+    for (idx i = n - 3; i >= 0; --i)
+      b[i] = (b[i] - du[i] * b[i + 1] - du2[i] * b[i + 2]) / dd[i];
+  }
+}
+
+}  // namespace
+
+void stein(idx n, const double* d, const double* e,
+           const std::vector<double>& w, double* z, idx ldz) {
+  const idx m = static_cast<idx>(w.size());
+  if (n == 0 || m == 0) return;
+  double gl, gu;
+  gershgorin(n, d, e, gl, gu);
+  const double tnorm = std::max(std::fabs(gl), std::fabs(gu));
+  const double ortol = 1e-3 * std::max(tnorm, kSafmin);
+  const double pivmin = std::max(pivmin_of(n, e), kEps * tnorm * kEps);
+
+  std::vector<double> dl(static_cast<size_t>(n)), dd(static_cast<size_t>(n)),
+      du(static_cast<size_t>(n)), du2(static_cast<size_t>(n)),
+      x(static_cast<size_t>(n));
+  Rng rng(0xC0FFEE);
+
+  idx cluster_begin = 0;
+  for (idx j = 0; j < m; ++j) {
+    if (j > 0 && w[static_cast<size_t>(j)] - w[static_cast<size_t>(j - 1)] > ortol)
+      cluster_begin = j;
+    // Perturb repeated eigenvalues slightly apart (xSTEIN strategy).
+    const double lambda =
+        w[static_cast<size_t>(j)] +
+        (j - cluster_begin) * 10.0 * kEps * std::max(tnorm, 1.0) * kEps;
+
+    rng.fill_normal(x.data(), n);
+    double nrm = blas::nrm2(n, x.data(), 1);
+    blas::scal(n, 1.0 / nrm, x.data(), 1);
+
+    for (int iter = 0; iter < 5; ++iter) {
+      tridiag_solve(n, d, e, lambda, pivmin, dl.data(), dd.data(), du.data(),
+                    du2.data(), x.data());
+      // Reorthogonalize within the cluster before normalizing.
+      for (idx p = cluster_begin; p < j; ++p) {
+        const double proj = blas::dot(n, z + p * ldz, 1, x.data(), 1);
+        blas::axpy(n, -proj, z + p * ldz, 1, x.data(), 1);
+      }
+      nrm = blas::nrm2(n, x.data(), 1);
+      if (nrm == 0.0) {
+        rng.fill_normal(x.data(), n);
+        nrm = blas::nrm2(n, x.data(), 1);
+      }
+      blas::scal(n, 1.0 / nrm, x.data(), 1);
+      // Growth of 1/eps-ish indicates convergence of inverse iteration.
+      if (nrm > 1.0 / (std::sqrt(kEps) * 100.0) && iter >= 1) break;
+    }
+    blas::copy(n, x.data(), 1, z + j * ldz, 1);
+  }
+}
+
+}  // namespace tseig::tridiag

@@ -1,0 +1,37 @@
+// Bisection eigenvalue finder and inverse-iteration eigenvector solver for
+// symmetric tridiagonal matrices (LAPACK xSTEBZ / xSTEIN roles).
+//
+// In the paper's taxonomy this pair stands in for MRRR (DSYEVR): an O(n^2)
+// phase-2 method that supports computing a SUBSET of the spectrum -- the
+// capability behind Figure 4d (only f = 20% of the eigenvectors) -- while
+// keeping phase 2 cheap relative to the reductions.  (True MRRR is the
+// authors' library choice; bisection + inverse iteration exercises the same
+// interface and cost profile.  See DESIGN.md, substitution table.)
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tseig::tridiag {
+
+/// Number of eigenvalues of the tridiagonal (d, e) strictly less than x
+/// (Sturm sequence count).
+idx sturm_count(idx n, const double* d, const double* e, double x);
+
+/// Eigenvalues with 0-based indices il..iu (inclusive, ascending) computed
+/// by bisection to roughly eps * |T| accuracy.
+std::vector<double> stebz_index(idx n, const double* d, const double* e,
+                                idx il, idx iu);
+
+/// All eigenvalues in the half-open interval (vl, vu].
+std::vector<double> stebz_value(idx n, const double* d, const double* e,
+                                double vl, double vu);
+
+/// Inverse iteration: computes eigenvectors for the given eigenvalues
+/// (ascending, as produced by stebz) into z (n-by-w.size()).  Eigenvalues
+/// closer than 1e-3 * |T| are treated as a cluster and reorthogonalized.
+void stein(idx n, const double* d, const double* e,
+           const std::vector<double>& w, double* z, idx ldz);
+
+}  // namespace tseig::tridiag

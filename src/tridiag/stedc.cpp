@@ -1,0 +1,325 @@
+#include "tridiag/stedc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/blas3.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/steqr.hpp"
+
+namespace tseig::tridiag {
+namespace {
+
+thread_local StedcStats g_stats;
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+/// Root of the secular equation f(x) = 1 + sum_i zsq[i]/(delta[i] - x) in
+/// interval j, represented as delta[anchor] + tau for accuracy.
+struct SecularRoot {
+  idx anchor;
+  double tau;
+};
+
+/// f evaluated at delta[a] + tau.
+double secular_g(idx k, const double* delta, const double* zsq, idx a,
+                 double tau, double* gprime) {
+  double g = 1.0;
+  double gp = 0.0;
+  const double da = delta[a];
+  for (idx i = 0; i < k; ++i) {
+    const double den = (delta[i] - da) - tau;
+    const double r = zsq[i] / den;
+    g += r;
+    gp += r / den;
+  }
+  if (gprime != nullptr) *gprime = gp;
+  return g;
+}
+
+/// Bisection-safeguarded Newton iteration for the root in interval j:
+/// (delta[j], delta[j+1]) for j < k-1, (delta[k-1], delta[k-1] + ||z||^2]
+/// for j = k-1.  f is strictly increasing on each interval.
+SecularRoot solve_secular(idx k, const double* delta, const double* zsq,
+                          idx j) {
+  ++g_stats.secular_solves;
+  if (k == 1) return {0, zsq[0]};
+
+  idx a;
+  double lo, hi;  // bracket in tau-space relative to delta[a]
+  if (j == k - 1) {
+    a = k - 1;
+    double total = 0.0;
+    for (idx i = 0; i < k; ++i) total += zsq[i];
+    lo = 0.0;
+    hi = total;
+  } else {
+    // Pick the anchor nearest the root by the sign of f at the midpoint.
+    const double width = delta[j + 1] - delta[j];
+    const double gmid = secular_g(k, delta, zsq, j, 0.5 * width, nullptr);
+    if (gmid >= 0.0) {
+      a = j;  // root in the left half
+      lo = 0.0;
+      hi = 0.5 * width;
+    } else {
+      a = j + 1;  // root in the right half
+      lo = -0.5 * width;
+      hi = 0.0;
+    }
+  }
+
+  double tau = 0.5 * (lo + hi);
+  for (int it = 0; it < 100; ++it) {
+    double gp = 0.0;
+    const double g = secular_g(k, delta, zsq, a, tau, &gp);
+    if (g == 0.0) break;
+    if (g > 0.0) {
+      hi = tau;
+    } else {
+      lo = tau;
+    }
+    double next = tau - g / gp;  // Newton (f increasing, convex pieces)
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);  // safeguard
+    const double spacing =
+        2.0 * kEps * std::max({std::fabs(lo), std::fabs(hi), 1e-300});
+    if (hi - lo <= spacing || next == tau) {
+      tau = next;
+      break;
+    }
+    tau = next;
+  }
+  return {a, tau};
+}
+
+/// Rank-one merge: eigen-decomposes diag(dd) + z z^T where the current
+/// eigenbasis columns of `q` are given through `cols` (already sorted so
+/// that dd is ascending).  Outputs eigenvalues (ascending) in `dout` and the
+/// updated basis in `qout` (n-by-kall, rows = q.rows()).
+void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
+                    Matrix& q, std::vector<idx>& cols, double* dout,
+                    Matrix& qout) {
+  const idx kall = static_cast<idx>(dd.size());
+  const idx rows = q.rows();
+  ++g_stats.merges;
+  g_stats.total_size += kall;
+
+  double zsum = 0.0;
+  double dmax = 0.0;
+  for (idx i = 0; i < kall; ++i) {
+    zsum += zz[i] * zz[i];
+    dmax = std::max(dmax, std::fabs(dd[i]));
+  }
+  const double scale = dmax + zsum;
+  const double told = 8.0 * kEps * std::max(scale, 1e-300);
+  const double tolz =
+      8.0 * kEps * std::max(scale, 1e-300) / std::max(std::sqrt(zsum), 1e-150);
+
+  // --- Deflation (xLAED2 role). ---
+  std::vector<idx> kept;          // indices into dd/zz/cols
+  std::vector<idx> defl;          // ditto
+  std::vector<double> defl_val;
+  for (idx i = 0; i < kall; ++i) {
+    if (std::fabs(zz[i]) <= tolz) {
+      defl.push_back(i);
+      defl_val.push_back(dd[i]);
+      continue;
+    }
+    if (!kept.empty()) {
+      const idx p = kept.back();
+      const double t = dd[i] - dd[p];
+      const double r = lapack::lapy2(zz[p], zz[i]);
+      const double c = zz[i] / r;
+      const double s = zz[p] / r;
+      if (std::fabs(t * c * s) <= told) {
+        // Rotate columns (p, i) with G = [[c, s], [-s, c]] so the z weight
+        // concentrates in slot i; slot p deflates (dropped coupling c*s*t).
+        double* cp = q.col(cols[static_cast<size_t>(p)]);
+        double* ci = q.col(cols[static_cast<size_t>(i)]);
+        blas::rot(rows, ci, 1, cp, 1, c, s);
+        const double dp = dd[p];
+        const double di = dd[i];
+        dd[p] = dp * c * c + di * s * s;
+        dd[i] = dp * s * s + di * c * c;
+        zz[i] = r;
+        zz[p] = 0.0;
+        kept.pop_back();
+        defl.push_back(p);
+        defl_val.push_back(dd[p]);
+        // dd[i] may now be below the previous kept entry only within told;
+        // fall through to keep i.
+      }
+    }
+    kept.push_back(i);
+  }
+  const idx k = static_cast<idx>(kept.size());
+  g_stats.deflated += kall - k;
+
+  // --- Secular equation + Gu-Eisenstat vectors (xLAED3 role). ---
+  std::vector<double> lam_val;
+  Matrix g;  // rows x k back-multiplied block
+  if (k > 0) {
+    std::vector<double> delta(static_cast<size_t>(k)),
+        zsq(static_cast<size_t>(k));
+    for (idx j = 0; j < k; ++j) {
+      delta[static_cast<size_t>(j)] = dd[kept[static_cast<size_t>(j)]];
+      const double zj = zz[kept[static_cast<size_t>(j)]];
+      zsq[static_cast<size_t>(j)] = zj * zj;
+    }
+    std::vector<SecularRoot> roots(static_cast<size_t>(k));
+    for (idx j = 0; j < k; ++j)
+      roots[static_cast<size_t>(j)] = solve_secular(k, delta.data(), zsq.data(), j);
+    lam_val.resize(static_cast<size_t>(k));
+    for (idx j = 0; j < k; ++j)
+      lam_val[static_cast<size_t>(j)] =
+          delta[static_cast<size_t>(roots[static_cast<size_t>(j)].anchor)] +
+          roots[static_cast<size_t>(j)].tau;
+
+    // lam_minus_delta(j, i) computed through the anchor for accuracy.
+    auto lam_minus_delta = [&](idx j, idx i) {
+      const SecularRoot& r = roots[static_cast<size_t>(j)];
+      return (delta[static_cast<size_t>(r.anchor)] - delta[static_cast<size_t>(i)]) + r.tau;
+    };
+
+    // Gu-Eisenstat recomputed z: zhat_i^2 = (lam_i - delta_i) *
+    //   prod_{j != i} (lam_j - delta_i) / (delta_j - delta_i).
+    std::vector<double> zhat(static_cast<size_t>(k));
+    for (idx i = 0; i < k; ++i) {
+      double prod = lam_minus_delta(i, i);
+      for (idx j = 0; j < k; ++j) {
+        if (j == i) continue;
+        prod *= lam_minus_delta(j, i) /
+                (delta[static_cast<size_t>(j)] - delta[static_cast<size_t>(i)]);
+      }
+      const double zi = zz[kept[static_cast<size_t>(i)]];
+      zhat[static_cast<size_t>(i)] =
+          std::copysign(std::sqrt(std::max(prod, 0.0)), zi);
+    }
+
+    // Eigenvectors of the rank-one system, then back-multiply.
+    Matrix u(k, k);
+    for (idx j = 0; j < k; ++j) {
+      double nrm = 0.0;
+      for (idx i = 0; i < k; ++i) {
+        const double v = zhat[static_cast<size_t>(i)] / (-lam_minus_delta(j, i));
+        u(i, j) = v;
+        nrm += v * v;
+      }
+      nrm = 1.0 / std::sqrt(nrm);
+      for (idx i = 0; i < k; ++i) u(i, j) *= nrm;
+    }
+    // G = Q(:, kept) * U.
+    Matrix qk(rows, k);
+    for (idx j = 0; j < k; ++j)
+      lapack::lacpy(rows, 1, q.col(cols[static_cast<size_t>(kept[static_cast<size_t>(j)])]),
+                    q.ld(), qk.col(j), qk.ld());
+    g.reshape(rows, k);
+    blas::gemm(op::none, op::none, rows, k, k, 1.0, qk.data(), qk.ld(),
+               u.data(), u.ld(), 0.0, g.data(), g.ld());
+  }
+
+  // --- Assemble ascending eigenvalues and matching columns. ---
+  struct Entry {
+    double value;
+    bool from_secular;
+    idx index;  // column of g, or defl position
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(kall));
+  for (idx j = 0; j < k; ++j)
+    entries.push_back({lam_val[static_cast<size_t>(j)], true, j});
+  for (size_t j = 0; j < defl.size(); ++j)
+    entries.push_back({defl_val[j], false, static_cast<idx>(j)});
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) { return a.value < b.value; });
+
+  qout.reshape(rows, kall);
+  for (idx j = 0; j < kall; ++j) {
+    const Entry& en = entries[static_cast<size_t>(j)];
+    dout[j] = en.value;
+    const double* src =
+        en.from_secular
+            ? g.col(en.index)
+            : q.col(cols[static_cast<size_t>(defl[static_cast<size_t>(en.index)])]);
+    lapack::lacpy(rows, 1, src, rows, qout.col(j), qout.ld());
+  }
+}
+
+/// Recursive D&C on (d, e) of size n; q receives the n-by-n eigenvectors.
+void stedc_rec(idx n, double* d, double* e, Matrix& q, idx crossover) {
+  if (n <= crossover) {
+    q.reshape(n, n);
+    lapack::laset(n, n, 0.0, 1.0, q.data(), q.ld());
+    lapack::steqr(n, d, e, q.data(), q.ld(), n);
+    return;
+  }
+  const idx m = n / 2;
+  const double beta = e[m - 1];
+  const double sgn = beta >= 0.0 ? 1.0 : -1.0;
+  const double absb = std::fabs(beta);
+  d[m - 1] -= absb;
+  d[m] -= absb;
+
+  Matrix q1, q2;
+  stedc_rec(m, d, e, q1, crossover);
+  stedc_rec(n - m, d + m, e + m, q2, crossover);
+
+  // z = sqrt(rho) * [last row of Q1 ; sgn * first row of Q2].
+  std::vector<double> dd(static_cast<size_t>(n)), zz(static_cast<size_t>(n));
+  const double srho = std::sqrt(absb);
+  for (idx j = 0; j < m; ++j) zz[static_cast<size_t>(j)] = srho * q1(m - 1, j);
+  for (idx j = 0; j < n - m; ++j)
+    zz[static_cast<size_t>(m + j)] = srho * sgn * q2(0, j);
+  for (idx i = 0; i < n; ++i) dd[static_cast<size_t>(i)] = d[i];
+
+  // Assemble the block-diagonal basis and sort by dd.
+  Matrix qblk(n, n);
+  for (idx j = 0; j < m; ++j)
+    lapack::lacpy(m, 1, q1.col(j), q1.ld(), qblk.col(j), qblk.ld());
+  for (idx j = 0; j < n - m; ++j)
+    lapack::lacpy(n - m, 1, q2.col(j), q2.ld(), qblk.col(m + j) + m,
+                  qblk.ld());
+
+  std::vector<idx> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), idx{0});
+  std::stable_sort(order.begin(), order.end(), [&](idx a, idx b) {
+    return dd[static_cast<size_t>(a)] < dd[static_cast<size_t>(b)];
+  });
+  std::vector<double> dsort(static_cast<size_t>(n)), zsort(static_cast<size_t>(n));
+  std::vector<idx> cols(static_cast<size_t>(n));
+  for (idx i = 0; i < n; ++i) {
+    dsort[static_cast<size_t>(i)] = dd[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    zsort[static_cast<size_t>(i)] = zz[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    cols[static_cast<size_t>(i)] = order[static_cast<size_t>(i)];
+  }
+
+  if (absb == 0.0) {
+    // No coupling: just interleave the two sorted spectra.
+    q.reshape(n, n);
+    for (idx j = 0; j < n; ++j) {
+      d[j] = dsort[static_cast<size_t>(j)];
+      lapack::lacpy(n, 1, qblk.col(cols[static_cast<size_t>(j)]), qblk.ld(),
+                    q.col(j), q.ld());
+    }
+    return;
+  }
+  rank_one_merge(dsort, zsort, qblk, cols, d, q);
+}
+
+}  // namespace
+
+void stedc(idx n, double* d, double* e, double* z, idx ldz, idx crossover) {
+  require(n >= 0, "stedc: negative n");
+  g_stats = StedcStats{};
+  if (n == 0) return;
+  Matrix q;
+  stedc_rec(n, d, e, q, std::max<idx>(crossover, 4));
+  lapack::lacpy(n, n, q.data(), q.ld(), z, ldz);
+}
+
+StedcStats stedc_last_stats() { return g_stats; }
+
+}  // namespace tseig::tridiag

@@ -1,0 +1,38 @@
+// Divide-and-conquer symmetric tridiagonal eigensolver (LAPACK xSTEDC role).
+//
+// This is the paper's "EVD / D&C" phase-2 solver (Table 1): eigenvalues and
+// eigenvectors of the tridiagonal matrix produced by the reduction.  The
+// implementation follows the classic Cuppen / Gu-Eisenstat scheme:
+//   * split T into two half-size tridiagonals plus a rank-one correction;
+//   * recurse (QL/QR iteration below a crossover size);
+//   * merge: deflate negligible/duplicate entries, solve the secular
+//     equation for each remaining eigenvalue with a bisection-safeguarded
+//     Newton iteration, recompute the rank-one vector with the
+//     Gu-Eisenstat formula for orthogonal eigenvectors, and multiply back
+//     (GEMM -- the compute-bound bulk of the phase).
+#pragma once
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace tseig::tridiag {
+
+/// Computes all eigenpairs of the symmetric tridiagonal (d, e).
+///
+/// On exit d holds the eigenvalues ascending and z (n-by-n, overwritten) the
+/// corresponding orthonormal eigenvectors.  `e` (capacity n, significant
+/// n-1) is destroyed.  `crossover` is the subproblem size below which the
+/// QL/QR iteration is used directly.
+void stedc(idx n, double* d, double* e, double* z, idx ldz,
+           idx crossover = 32);
+
+/// Statistics of the last stedc call on this thread (test/diagnostic aid).
+struct StedcStats {
+  idx merges = 0;          // rank-one merges performed
+  idx total_size = 0;      // sum of merge sizes
+  idx deflated = 0;        // total deflated entries across merges
+  idx secular_solves = 0;  // secular roots computed
+};
+StedcStats stedc_last_stats();
+
+}  // namespace tseig::tridiag

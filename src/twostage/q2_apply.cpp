@@ -1,0 +1,152 @@
+#include "twostage/q2_apply.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "lapack/householder.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace tseig::twostage {
+namespace {
+
+/// A precomputed diamond: the compact WY factor of `w` reflectors from
+/// consecutive sweeps at the same hop level (Figure 3b), ready to be applied
+/// to any column block of E with one larfb.
+struct Diamond {
+  idx r0 = 0;      // first row of E it touches
+  idx height = 0;  // rows it touches
+  Matrix v;        // height x w staircase with explicit zeros
+  Matrix t;        // w x w triangular factor
+};
+
+/// Number of sweeps in group [s0, s1) that actually have hop b.
+idx group_width(const V2Factor& v2, idx s0, idx s1, idx b) {
+  // nblocks(s) is non-increasing in s, so eligible sweeps form a prefix.
+  idx s = s0;
+  while (s < s1 && b < v2.nblocks(s)) ++s;
+  return s - s0;
+}
+
+/// Builds the WY factor of the diamond covering sweeps [s0, s0+w) at hop b.
+Diamond build_diamond(const V2Factor& v2, idx s0, idx w, idx b) {
+  Diamond d;
+  d.r0 = v2.start(s0, b);
+  const idx rend = v2.start(s0 + w - 1, b) + v2.len(s0 + w - 1, b);
+  d.height = rend - d.r0;
+  d.v.reshape(d.height, w);
+  std::vector<double> taus(static_cast<size_t>(w));
+  for (idx c = 0; c < w; ++c) {
+    const idx len = v2.len(s0 + c, b);
+    const double* v = v2.v(s0 + c, b);
+    double* col = d.v.col(c);
+    // Column c sits one row below column c-1 (the staircase).  v[0] == 1
+    // for generated reflectors; trivial (tau == 0) slots may hold zeros,
+    // which larft maps to an identity factor regardless.
+    for (idx i = 0; i < len; ++i) col[c + i] = v[i];
+    taus[static_cast<size_t>(c)] = v2.tau(s0 + c, b);
+  }
+  d.t.reshape(w, w);
+  lapack::larft(d.height, w, d.v.data(), d.v.ld(), taus.data(), d.t.data(),
+                d.t.ld());
+  return d;
+}
+
+/// Builds every diamond in the order they must be applied for op(Q2)
+/// (see the ordering discussion in the header).
+std::vector<Diamond> build_diamonds(op trans, const V2Factor& v2, idx ell) {
+  const idx nsweeps = v2.nsweeps();
+  const idx ngroups = (nsweeps + ell - 1) / ell;
+  const idx maxblocks = v2.nblocks(0);
+  std::vector<Diamond> out;
+  auto emit_group = [&](idx g) {
+    const idx s0 = g * ell;
+    const idx s1 = std::min(nsweeps, s0 + ell);
+    if (trans == op::none) {
+      for (idx b = 0; b < maxblocks; ++b) {
+        const idx w = group_width(v2, s0, s1, b);
+        if (w > 0) out.push_back(build_diamond(v2, s0, w, b));
+      }
+    } else {
+      for (idx b = maxblocks - 1; b >= 0; --b) {
+        const idx w = group_width(v2, s0, s1, b);
+        if (w > 0) out.push_back(build_diamond(v2, s0, w, b));
+      }
+    }
+  };
+  if (trans == op::none) {
+    for (idx g = ngroups - 1; g >= 0; --g) emit_group(g);
+  } else {
+    for (idx g = 0; g < ngroups; ++g) emit_group(g);
+  }
+  return out;
+}
+
+}  // namespace
+
+void apply_q2_naive(op trans, const V2Factor& v2, double* e, idx lde,
+                    idx ncols) {
+  std::vector<double> work(static_cast<size_t>(ncols));
+  if (trans == op::none) {
+    // E <- Q2 E: reverse generation order.
+    for (idx s = v2.nsweeps() - 1; s >= 0; --s) {
+      for (idx b = v2.nblocks(s) - 1; b >= 0; --b) {
+        const double tau = v2.tau(s, b);
+        if (tau == 0.0) continue;
+        lapack::larf(side::left, v2.len(s, b), ncols, v2.v(s, b), 1, tau,
+                     e + v2.start(s, b), lde, work.data());
+      }
+    }
+  } else {
+    // E <- Q2^T E: generation order (reflectors are symmetric, H^T = H).
+    for (idx s = 0; s < v2.nsweeps(); ++s) {
+      for (idx b = 0; b < v2.nblocks(s); ++b) {
+        const double tau = v2.tau(s, b);
+        if (tau == 0.0) continue;
+        lapack::larf(side::left, v2.len(s, b), ncols, v2.v(s, b), 1, tau,
+                     e + v2.start(s, b), lde, work.data());
+      }
+    }
+  }
+}
+
+void apply_q2(op trans, const V2Factor& v2, double* e, idx lde, idx ncols,
+              idx ell, int num_workers, idx col_block) {
+  const idx nsweeps = v2.nsweeps();
+  if (nsweeps == 0 || ncols == 0) return;
+  ell = std::max<idx>(1, ell);
+
+  // Build every diamond's WY factor once (shared read-only by all tasks),
+  // then sweep them over each column block of E (Figure 3c: communication-
+  // free per-core column ownership).
+  const std::vector<Diamond> diamonds = build_diamonds(trans, v2, ell);
+
+  auto process_columns = [&](idx c0, idx nc) {
+    std::vector<double> wbuf(static_cast<size_t>(ell * nc));
+    for (const Diamond& d : diamonds) {
+      lapack::larfb(side::left, trans, d.height, nc, d.v.cols(), d.v.data(),
+                    d.v.ld(), d.t.data(), d.t.ld(), e + d.r0 + c0 * lde, lde,
+                    wbuf.data());
+    }
+  };
+
+  if (num_workers <= 1) {
+    for (idx c0 = 0; c0 < ncols; c0 += col_block)
+      process_columns(c0, std::min(col_block, ncols - c0));
+    return;
+  }
+  rt::TaskGraph graph;
+  int hint = 0;
+  for (idx c0 = 0; c0 < ncols; c0 += col_block) {
+    const idx nc = std::min(col_block, ncols - c0);
+    rt::TaskGraph::Options opts;
+    // Static column ownership: block -> worker, as in Figure 3c.
+    opts.worker_hint = hint++ % num_workers;
+    opts.label = "q2_cols";
+    graph.submit([process_columns, c0, nc] { process_columns(c0, nc); },
+                 {rt::wr(rt::region_key(8, static_cast<std::uint32_t>(c0), 0))},
+                 opts);
+  }
+  graph.run(num_workers);
+}
+
+}  // namespace tseig::twostage

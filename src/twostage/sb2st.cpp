@@ -1,0 +1,243 @@
+#include "twostage/sb2st.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "common/flops.hpp"
+#include "lapack/householder.hpp"
+#include "runtime/task_graph.hpp"
+
+namespace tseig::twostage {
+
+V2Factor::V2Factor(idx n, idx nb) : n_(n), nb_(nb) {
+  require(n >= 0 && nb >= 1, "V2Factor: bad dimensions");
+  sweep_offset_.assign(static_cast<size_t>(nsweeps()) + 1, 0);
+  idx total = 0;
+  for (idx s = 0; s < nsweeps(); ++s) {
+    sweep_offset_[static_cast<size_t>(s)] = total;
+    total += nblocks(s);
+  }
+  sweep_offset_[static_cast<size_t>(nsweeps())] = total;
+  v_.assign(static_cast<size_t>(total * nb_), 0.0);
+  tau_.assign(static_cast<size_t>(total), 0.0);
+}
+
+namespace {
+
+/// Working band accessor: lower band with 2*nb sub-diagonals of headroom for
+/// the bulges.  Element (i, j), i >= j, lives at wb[(i-j) + j*ldwb].
+struct WorkBand {
+  double* wb;
+  idx ldwb;
+  double& at(idx i, idx j) const { return wb[(i - j) + j * ldwb]; }
+  /// Pointer to the column segment starting at (i, j), contiguous in i.
+  double* col(idx i, idx j) const { return wb + (i - j) + j * ldwb; }
+};
+
+/// Symmetric two-sided rank-2 reflector update on the cache-resident block
+/// S = B(r1 : r1+len-1, r1 : r1+len-1):  S <- H S H, H = I - tau v v^T.
+/// This is the trailing part of both hbceu (type 1) and hblru (type 3).
+void sym_two_sided(const WorkBand& b, idx r1, idx len, const double* v_in,
+                   double tau, double* w_in) {
+  if (tau == 0.0 || len <= 0) return;
+  count_flops(4 * len * len + 4 * len);
+  const double* __restrict__ v = v_in;
+  double* __restrict__ w = w_in;
+  // w = tau * S v using one pass over the stored lower triangle.
+  for (idx k = 0; k < len; ++k) w[k] = 0.0;
+  for (idx j = 0; j < len; ++j) {
+    const double* __restrict__ cj = b.col(r1 + j, r1 + j);
+    w[j] += cj[0] * v[j];
+    const double vj = v[j];
+    double acc = 0.0;
+    for (idx i = j + 1; i < len; ++i) {
+      w[i] += cj[i - j] * vj;
+      acc += cj[i - j] * v[i];
+    }
+    w[j] += acc;
+  }
+  for (idx k = 0; k < len; ++k) w[k] *= tau;
+  // w <- w - (tau/2)(w^T v) v ; then S -= v w^T + w v^T.
+  const double alpha = -0.5 * tau * blas::dot(len, w, 1, v, 1);
+  blas::axpy(len, alpha, v, 1, w, 1);
+  for (idx j = 0; j < len; ++j) {
+    double* __restrict__ cj = b.col(r1 + j, r1 + j);
+    const double wj = w[j];
+    const double vj = v[j];
+    for (idx i = j; i < len; ++i) {
+      cj[i - j] -= v[i] * wj + w[i] * vj;
+    }
+  }
+}
+
+/// Type 1 (xHBCEU): start sweep s -- generate the reflector annihilating the
+/// band column s below its first sub-diagonal and update the symmetric block
+/// it touches.
+void hbceu(const WorkBand& b, idx n, idx nb, idx s, double* v, double& tau,
+           double* w) {
+  const idx r1 = s + 1;
+  const idx len = std::min(nb, n - r1);
+  // Column s, rows r1..r1+len-1 is contiguous in band storage.
+  double* x = b.col(r1, s);
+  v[0] = 1.0;
+  double alpha = x[0];
+  tau = lapack::larfg(len, alpha, x + 1, 1);
+  for (idx i = 1; i < len; ++i) {
+    v[i] = x[i];
+    x[i] = 0.0;  // annihilated entries
+  }
+  x[0] = alpha;
+  sym_two_sided(b, r1, len, v, tau, w);
+}
+
+/// Type 2 + type 3 (xHBREL then xHBLRU): one chase hop of sweep s.
+///  - apply the previous reflector (vp over rows r1..r2) from the right to
+///    the block G = B(J1:J2, r1:r2), creating the bulge;
+///  - annihilate the bulge's first column with a new reflector (vn);
+///  - apply vn from the left to the remaining columns of G (still in cache);
+///  - apply vn two-sidedly to the symmetric block B(J1:J2, J1:J2).
+void hbrel_hblru(const WorkBand& b, idx n, idx nb, idx r1, idx lenU,
+                 const double* vp, double taup, double* vn, double& taun,
+                 double* w) {
+  const idx J1 = r1 + lenU;
+  const idx lenB = std::min(nb, n - J1);
+  // --- hbrel: right application G <- G (I - taup vp vp^T). ---
+  if (taup != 0.0) {
+    count_flops(4 * lenB * lenU);
+    double* __restrict__ wr = w;
+    for (idx i = 0; i < lenB; ++i) wr[i] = 0.0;
+    for (idx j = 0; j < lenU; ++j) {
+      const double* __restrict__ cj = b.col(J1, r1 + j);
+      const double vj = vp[j];
+      if (vj == 0.0) continue;
+      for (idx i = 0; i < lenB; ++i) wr[i] += cj[i] * vj;
+    }
+    for (idx j = 0; j < lenU; ++j) {
+      double* __restrict__ cj = b.col(J1, r1 + j);
+      const double tv = taup * vp[j];
+      if (tv == 0.0) continue;
+      for (idx i = 0; i < lenB; ++i) cj[i] -= wr[i] * tv;
+    }
+  }
+  // --- new reflector from the bulge's first column. ---
+  double* x = b.col(J1, r1);
+  vn[0] = 1.0;
+  double alpha = x[0];
+  taun = lapack::larfg(lenB, alpha, x + 1, 1);
+  for (idx i = 1; i < lenB; ++i) {
+    vn[i] = x[i];
+    x[i] = 0.0;
+  }
+  x[0] = alpha;
+  // --- left application to the delayed columns r1+1 .. r1+lenU-1. ---
+  if (taun != 0.0) {
+    count_flops(4 * lenB * (lenU - 1));
+    const double* __restrict__ vr = vn;
+    for (idx j = 1; j < lenU; ++j) {
+      double* __restrict__ cj = b.col(J1, r1 + j);
+      double acc = 0.0;
+      for (idx i = 0; i < lenB; ++i) acc += vr[i] * cj[i];
+      acc *= taun;
+      for (idx i = 0; i < lenB; ++i) cj[i] -= acc * vr[i];
+    }
+  }
+  // --- hblru trailing part: two-sided update of the symmetric block. ---
+  sym_two_sided(b, J1, lenB, vn, taun, w);
+}
+
+constexpr std::uint32_t kTagLattice = 7;
+
+}  // namespace
+
+Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
+  const idx n = band.n();
+  const idx nb = band.bandwidth();
+  Sb2stResult result;
+  result.d.assign(static_cast<size_t>(n), 0.0);
+  result.e.assign(static_cast<size_t>(std::max<idx>(n, 1)), 0.0);
+  result.v2 = V2Factor(n, std::max<idx>(nb, 1));
+  if (n == 0) return result;
+
+  // Copy the band into working storage with bulge headroom (2nb+1 rows).
+  const idx ldwb = 2 * std::max<idx>(nb, 1) + 1;
+  std::vector<double> wstore(static_cast<size_t>(ldwb * n), 0.0);
+  WorkBand wb{wstore.data(), ldwb};
+  for (idx j = 0; j < n; ++j) {
+    const idx iend = std::min(n, j + nb + 1);
+    for (idx i = j; i < iend; ++i) wb.at(i, j) = band.at(i, j);
+  }
+
+  V2Factor& v2 = result.v2;
+  if (nb >= 2 && n >= 3) {
+    const idx group = std::max<idx>(1, opts.group);
+    const bool parallel = opts.num_workers > 1;
+    rt::TaskGraph graph;
+    const int w2 = opts.stage2_workers > 0
+                       ? std::min(opts.stage2_workers, opts.num_workers)
+                       : opts.num_workers;
+
+    for (idx s = 0; s < v2.nsweeps(); ++s) {
+      const idx nbl = v2.nblocks(s);
+      const idx ncoarse = (nbl + group - 1) / group;
+      for (idx c = 0; c < ncoarse; ++c) {
+        const idx u0 = c * group;
+        const idx u1 = std::min(nbl, u0 + group);
+        auto body = [&wb, &v2, n, nb, s, u0, u1] {
+          std::vector<double> w(static_cast<size_t>(nb));
+          for (idx u = u0; u < u1; ++u) {
+            if (u == 0) {
+              hbceu(wb, n, nb, s, v2.v(s, 0), v2.tau(s, 0), w.data());
+            } else {
+              hbrel_hblru(wb, n, nb, v2.start(s, u - 1), v2.len(s, u - 1),
+                          v2.v(s, u - 1), v2.tau(s, u - 1), v2.v(s, u),
+                          v2.tau(s, u), w.data());
+            }
+          }
+        };
+        if (!parallel) {
+          body();
+          continue;
+        }
+        // Functional dependences of the chase lattice (paper Section 5.2):
+        // coarse task (s, c) after (s, c-1) and after (s-1, c), (s-1, c+1).
+        std::vector<rt::Access> acc;
+        acc.push_back(rt::wr(rt::region_key(
+            kTagLattice, static_cast<std::uint32_t>(s),
+            static_cast<std::uint32_t>(c))));
+        if (c > 0)
+          acc.push_back(rt::rd(rt::region_key(
+              kTagLattice, static_cast<std::uint32_t>(s),
+              static_cast<std::uint32_t>(c - 1))));
+        if (s > 0) {
+          acc.push_back(rt::rd(rt::region_key(
+              kTagLattice, static_cast<std::uint32_t>(s - 1),
+              static_cast<std::uint32_t>(c))));
+          acc.push_back(rt::rd(rt::region_key(
+              kTagLattice, static_cast<std::uint32_t>(s - 1),
+              static_cast<std::uint32_t>(c + 1))));
+        }
+        rt::TaskGraph::Options topts;
+        // Early sweeps lead the pipeline; pin chase positions to the
+        // stage-2 worker subset for band locality.
+        topts.priority = static_cast<int>(-s);
+        topts.worker_hint = static_cast<int>(c % w2);
+        topts.label = "chase";
+        graph.submit(std::move(body), acc, topts);
+      }
+    }
+    if (parallel) {
+      if (opts.trace != nullptr) graph.enable_tracing(true);
+      graph.run(opts.num_workers);
+      if (opts.trace != nullptr) *opts.trace = graph.trace();
+    }
+  }
+
+  for (idx i = 0; i < n; ++i) result.d[static_cast<size_t>(i)] = wb.at(i, i);
+  for (idx i = 0; i + 1 < n; ++i)
+    result.e[static_cast<size_t>(i)] = wb.at(i + 1, i);
+  return result;
+}
+
+}  // namespace tseig::twostage

@@ -1,0 +1,72 @@
+// First stage of the two-stage algorithm: reduction of a dense symmetric
+// matrix to symmetric band form, A = Q1 B Q1^T (paper Section 5.1), plus the
+// application of Q1 needed by the eigenvector back-transformation (paper
+// Section 6, Figure 3a).
+//
+// The reduction is a tile algorithm: for every panel (tile column) j, a tile
+// QR (GEQRT) factors the subdiagonal tile and a flat tree of TSQRTs couples
+// it with each tile below; the resulting block reflectors are applied
+// two-sidedly to the trailing tiles (SYRFB / TSMQR / corner kernels).  Tasks
+// are submitted to the data-hazard runtime with one region per tile, which
+// yields exactly the DAG execution described in the paper.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+#include "twostage/tile_matrix.hpp"
+
+namespace tseig::twostage {
+
+/// The orthogonal factor of the band reduction in factored form: the GEQRT
+/// reflector block of each panel plus the TSQRT reflector block of each
+/// coupled tile, stored tile-wise (Figure 3a's tiled V1 layout).
+struct Q1Factor {
+  idx n = 0;
+  idx nb = 0;
+  idx nt = 0;
+
+  /// Per panel j (0..nt-2): GEQRT reflectors of tile (j+1, j), explicit unit
+  /// diagonal, rows_of(j+1)-by-kk(j); and the kk(j)-by-kk(j) T factor.
+  std::vector<Matrix> vg;
+  std::vector<Matrix> tg;
+
+  /// Per (i, j) with j+2 <= i <= nt-1: TSQRT reflector block V2 of tile
+  /// (i, j), rows_of(i)-by-nb; and its nb-by-nb T factor.  Flat-indexed via
+  /// ts_index().
+  std::vector<Matrix> vts;
+  std::vector<Matrix> tts;
+
+  /// Reflector count of panel j: min(rows_of(j+1), nb).
+  idx kk(idx j) const;
+  /// Rows in tile block i.
+  idx rows_of(idx i) const { return i + 1 == nt ? n - i * nb : nb; }
+  /// Flat index of the TS block (i, j).
+  idx ts_index(idx i, idx j) const;
+};
+
+/// Result of the dense-to-band reduction.
+struct Sy2sbResult {
+  BandMatrix band;  // bandwidth nb
+  Q1Factor q1;
+};
+
+/// Reduces the symmetric matrix held in `a` (lower triangle, n-by-n, lda)
+/// to band form with bandwidth nb.
+///
+/// `num_workers` == 1 runs the plain sequential tile loop; > 1 executes the
+/// task DAG on that many workers.  The contents of `a` are not modified
+/// (the reduction works on a tiled copy).
+Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb,
+                  int num_workers = 1);
+
+/// Applies op(Q1) to the dense n-by-ncols matrix G in place:
+///   trans == op::none : G <- Q1 G   (eigenvector back-transformation)
+///   trans == op::trans: G <- Q1^T G
+/// `col_block` column-blocks of G are processed as independent tasks when
+/// num_workers > 1 (the paper's per-core column distribution, Figure 3c).
+void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
+              int num_workers = 1, idx col_block = 256);
+
+}  // namespace tseig::twostage

@@ -1,0 +1,179 @@
+#include "twostage/tile_kernels.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "blas/blas1.hpp"
+#include "blas/blas2.hpp"
+#include "blas/blas3.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/householder.hpp"
+
+namespace tseig::twostage {
+namespace {
+
+/// Per-worker tau scratch (kernels are hot inside the task DAG; avoid a heap
+/// allocation per call).
+double* tau_scratch(idx count) {
+  thread_local std::vector<double> buf;
+  if (static_cast<idx>(buf.size()) < count)
+    buf.resize(static_cast<size_t>(count));
+  return buf.data();
+}
+
+}  // namespace
+
+void geqrt(idx m, idx k, double* a, idx lda, double* v, idx ldv, double* t,
+           idx ldt, double* work) {
+  const idx kk = std::min(m, k);
+  double* tau = tau_scratch(kk);
+  lapack::geqr2(m, k, a, lda, tau, work);
+  lapack::extract_v(m, kk, a, lda, v, ldv);
+  lapack::larft(m, kk, v, ldv, tau, t, ldt);
+}
+
+void ormqr_tile(side sd, op trans, idx mc, idx nc, idx kk, const double* v,
+                idx ldv, const double* t, idx ldt, double* c, idx ldc,
+                double* work) {
+  lapack::larfb(sd, trans, mc, nc, kk, v, ldv, t, ldt, c, ldc, work);
+}
+
+void syrfb(idx m, idx kk, const double* v, idx ldv, const double* t, idx ldt,
+           double* a, idx lda, double* work) {
+  // Materialize the full symmetric tile, apply H^T . H via two larfb calls,
+  // and copy the lower triangle back.  The extra m^2 copies are a low-order
+  // cost next to the 4 m^2 kk flops of the update.
+  double* full = work;              // m*m
+  double* lwork = work + m * m;     // m*kk
+  for (idx j = 0; j < m; ++j) {
+    for (idx i = j; i < m; ++i) {
+      full[i + j * m] = a[i + j * lda];
+      full[j + i * m] = a[i + j * lda];
+    }
+  }
+  lapack::larfb(side::left, op::trans, m, m, kk, v, ldv, t, ldt, full, m,
+                lwork);
+  lapack::larfb(side::right, op::none, m, m, kk, v, ldv, t, ldt, full, m,
+                lwork);
+  for (idx j = 0; j < m; ++j)
+    for (idx i = j; i < m; ++i) a[i + j * lda] = full[i + j * m];
+}
+
+void tsqrt(idx m2, idx k, double* a1, idx lda1, double* a2, idx lda2,
+           double* t, idx ldt, double* work) {
+  double* tau = tau_scratch(k);
+  for (idx c = 0; c < k; ++c) {
+    // Reflector annihilating A2(:, c) against the diagonal entry R(c, c);
+    // the top part of the reflector vector is e_c (implicit).
+    double alpha = a1[c + c * lda1];
+    tau[c] = lapack::larfg(m2 + 1, alpha, a2 + c * lda2, 1);
+    a1[c + c * lda1] = alpha;
+    if (tau[c] == 0.0) continue;
+    const idx rest = k - c - 1;
+    if (rest > 0) {
+      // w = R(c, c+1:k) + V2(:,c)^T A2(:, c+1:k)
+      for (idx j = 0; j < rest; ++j) work[j] = a1[c + (c + 1 + j) * lda1];
+      blas::gemv(op::trans, m2, rest, 1.0, a2 + (c + 1) * lda2, lda2,
+                 a2 + c * lda2, 1, 1.0, work, 1);
+      // R(c, c+1:k) -= tau w ; A2(:, c+1:k) -= tau v2 w^T.
+      for (idx j = 0; j < rest; ++j) a1[c + (c + 1 + j) * lda1] -= tau[c] * work[j];
+      blas::ger(m2, rest, -tau[c], a2 + c * lda2, 1, work, 1,
+                a2 + (c + 1) * lda2, lda2);
+    }
+  }
+  // T factor: T(0:c, c) = -tau_c T(0:c, 0:c) (V2(:,0:c)^T V2(:,c)); the
+  // implicit identity blocks of the stacked V are orthogonal column-wise and
+  // contribute nothing.
+  for (idx c = 0; c < k; ++c) {
+    if (c > 0) {
+      blas::gemv(op::trans, m2, c, -tau[c], a2, lda2, a2 + c * lda2, 1, 0.0,
+                 t + c * ldt, 1);
+      blas::trmv(uplo::upper, op::none, diag::non_unit, c, t, ldt,
+                 t + c * ldt, 1);
+    }
+    t[c + c * ldt] = tau[c];
+  }
+}
+
+void tsmqr_left(op trans, idx n, idx k, idx m2, const double* v2, idx ldv2,
+                const double* t, idx ldt, double* b1, idx ldb1, double* b2,
+                idx ldb2, double* work) {
+  // W = op(T) (B1 + V2^T B2); B1 -= W; B2 -= V2 W.
+  lapack::lacpy(k, n, b1, ldb1, work, k);
+  blas::gemm(op::trans, op::none, k, n, m2, 1.0, v2, ldv2, b2, ldb2, 1.0,
+             work, k);
+  blas::trmm(side::left, uplo::upper, trans, diag::non_unit, k, n, 1.0, t,
+             ldt, work, k);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < k; ++i) b1[i + j * ldb1] -= work[i + j * k];
+  blas::gemm(op::none, op::none, m2, n, k, -1.0, v2, ldv2, work, k, 1.0, b2,
+             ldb2);
+}
+
+void tsmqr_right(op trans, idx m, idx k, idx m2, const double* v2, idx ldv2,
+                 const double* t, idx ldt, double* c1, idx ldc1, double* c2,
+                 idx ldc2, double* work) {
+  // W = (C1 + C2 V2) op(T); C1 -= W; C2 -= W V2^T.
+  lapack::lacpy(m, k, c1, ldc1, work, m);
+  blas::gemm(op::none, op::none, m, k, m2, 1.0, c2, ldc2, v2, ldv2, 1.0,
+             work, m);
+  blas::trmm(side::right, uplo::upper, trans, diag::non_unit, m, k, 1.0, t,
+             ldt, work, m);
+  for (idx j = 0; j < k; ++j)
+    for (idx i = 0; i < m; ++i) c1[i + j * ldc1] -= work[i + j * m];
+  blas::gemm(op::none, op::trans, m, m2, k, -1.0, work, m, v2, ldv2, 1.0, c2,
+             ldc2);
+}
+
+void tsmqr_corner(idx k, idx m2, const double* v2, idx ldv2, const double* t,
+                  idx ldt, double* a11, idx lda11, double* a21, idx lda21,
+                  double* a22, idx lda22, double* work) {
+  const idx m = k + m2;
+  double* full = work;          // m*m
+  double* tswork = work + m * m;  // m*k
+  // Assemble the full symmetric corner.
+  for (idx j = 0; j < k; ++j) {
+    for (idx i = j; i < k; ++i) {
+      full[i + j * m] = a11[i + j * lda11];
+      full[j + i * m] = a11[i + j * lda11];
+    }
+  }
+  for (idx j = 0; j < k; ++j)
+    for (idx i = 0; i < m2; ++i) {
+      full[(k + i) + j * m] = a21[i + j * lda21];
+      full[j + (k + i) * m] = a21[i + j * lda21];
+    }
+  for (idx j = 0; j < m2; ++j)
+    for (idx i = j; i < m2; ++i) {
+      full[(k + i) + (k + j) * m] = a22[i + j * lda22];
+      full[(k + j) + (k + i) * m] = a22[i + j * lda22];
+    }
+  // H^T (.) from the left, then (.) H from the right.
+  tsmqr_left(op::trans, m, k, m2, v2, ldv2, t, ldt, full, m, full + k, m,
+             tswork);
+  tsmqr_right(op::none, m, k, m2, v2, ldv2, t, ldt, full, m, full + k * m, m,
+              tswork);
+  // Write back the lower-storage tiles.
+  for (idx j = 0; j < k; ++j)
+    for (idx i = j; i < k; ++i) a11[i + j * lda11] = full[i + j * m];
+  for (idx j = 0; j < k; ++j)
+    for (idx i = 0; i < m2; ++i) a21[i + j * lda21] = full[(k + i) + j * m];
+  for (idx j = 0; j < m2; ++j)
+    for (idx i = j; i < m2; ++i)
+      a22[i + j * lda22] = full[(k + i) + (k + j) * m];
+}
+
+void tsmqr_left_hetra(op trans, idx n, idx k, idx m2, const double* v2,
+                      idx ldv2, const double* t, idx ldt, double* a_kj,
+                      idx lda_kj, double* b2, idx ldb2, double* work) {
+  // B1 = A_kj^T is k-by-n; stage into a scratch transpose, apply, restore.
+  double* b1 = work;             // k*n
+  double* tswork = work + k * n;  // k*n
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < k; ++i) b1[i + j * k] = a_kj[j + i * lda_kj];
+  tsmqr_left(trans, n, k, m2, v2, ldv2, t, ldt, b1, k, b2, ldb2, tswork);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < k; ++i) a_kj[j + i * lda_kj] = b1[i + j * k];
+}
+
+}  // namespace tseig::twostage

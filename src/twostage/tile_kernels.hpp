@@ -1,0 +1,81 @@
+// Tile kernels for the first stage (dense -> band reduction).
+//
+// These are the Level-3, cache-contained kernels the paper's Section 5.1
+// relies on: tile QR factorizations (GEQRT / TSQRT) and the application of
+// their block reflectors to single tiles or stacked tile pairs (ORMQR /
+// TSMQR), including the two-sided symmetric variants (SYRFB and the corner
+// update) needed because only the lower triangle is stored.
+//
+// Conventions: all tiles are column-major with explicit leading dimension.
+// GEQRT reflector blocks V are stored with explicit unit diagonal (see
+// householder.hpp); TSQRT reflector blocks V2 are plain dense tiles (the
+// identity on top of the stack is implicit).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace tseig::twostage {
+
+/// QR factorization of an m-by-k tile: A = Q R.
+/// On exit `a` holds R in its upper triangle and the raw reflectors below;
+/// `v` (m-by-kk, kk = min(m,k)) receives the explicit-diagonal reflector
+/// block and `t` (kk-by-kk) the compact WY triangular factor.
+void geqrt(idx m, idx k, double* a, idx lda, double* v, idx ldv, double* t,
+           idx ldt, double* work);
+
+/// Applies the geqrt block reflector (kk reflectors of height m) to C.
+///   side=left:  C (m-by-n)  <- op(H) C
+///   side=right: C (n-by-m)  <- C op(H)
+/// `work` needs kk*n (left) or n*kk (right) doubles.
+void ormqr_tile(side sd, op trans, idx mc, idx nc, idx kk, const double* v,
+                idx ldv, const double* t, idx ldt, double* c, idx ldc,
+                double* work);
+
+/// Two-sided update of a symmetric tile (lower storage): A <- H^T A H with H
+/// the geqrt block reflector of height m.  `work` needs m*m + m*kk doubles.
+void syrfb(idx m, idx kk, const double* v, idx ldv, const double* t, idx ldt,
+           double* a, idx lda, double* work);
+
+/// TS QR factorization of the stacked pair [A1; A2] where A1 (k-by-k) holds
+/// an upper triangular R and A2 (m2-by-k) is dense.
+/// On exit A1 holds the updated R, A2 holds V2, and t (k-by-k) the compact
+/// WY factor.  `work` needs k doubles.
+void tsqrt(idx m2, idx k, double* a1, idx lda1, double* a2, idx lda2,
+           double* t, idx ldt, double* work);
+
+/// Applies the TS block reflector H = I - V T V^T, V = [I_k; V2], to the
+/// stacked pair [B1 (k-by-n); B2 (m2-by-n)] from the left:
+///   [B1; B2] <- op(H) [B1; B2]
+/// `work` needs k*n doubles.
+void tsmqr_left(op trans, idx n, idx k, idx m2, const double* v2, idx ldv2,
+                const double* t, idx ldt, double* b1, idx ldb1, double* b2,
+                idx ldb2, double* work);
+
+/// Applies the TS block reflector to the side-by-side pair
+/// [C1 (m-by-k) , C2 (m-by-m2)] from the right:
+///   [C1, C2] <- [C1, C2] op(H)
+/// `work` needs m*k doubles.
+void tsmqr_right(op trans, idx m, idx k, idx m2, const double* v2, idx ldv2,
+                 const double* t, idx ldt, double* c1, idx ldc1, double* c2,
+                 idx ldc2, double* work);
+
+/// Two-sided TS update of the symmetric corner
+///   [ A11  A21^T ]            [ A11  A21^T ]
+///   [ A21  A22   ]  <-  H^T   [ A21  A22   ]  H
+/// where A11 (k-by-k) and A22 (m2-by-m2) are lower-symmetric tiles and A21
+/// is m2-by-k dense.  `work` needs (k+m2)*(k+m2) + (k+m2)*k doubles.
+void tsmqr_corner(idx k, idx m2, const double* v2, idx ldv2, const double* t,
+                  idx ldt, double* a11, idx lda11, double* a21, idx lda21,
+                  double* a22, idx lda22, double* work);
+
+/// Applies the TS block reflector from the left to the pair
+/// (B1 = A_kj^T, B2) where A_kj is stored transposed (the "hetra" case of
+/// the symmetric layout: the logical block row j+1 tile at column c sits in
+/// the lower triangle as its transpose).  `work` needs k*n + k*n doubles
+/// (transposed copy + tsmqr work), with B1 logical size k-by-n and A_kj
+/// stored as n-by-k.
+void tsmqr_left_hetra(op trans, idx n, idx k, idx m2, const double* v2,
+                      idx ldv2, const double* t, idx ldt, double* a_kj,
+                      idx lda_kj, double* b2, idx ldb2, double* work);
+
+}  // namespace tseig::twostage

@@ -1,0 +1,90 @@
+#include "twostage/tile_matrix.hpp"
+
+namespace tseig::twostage {
+
+SymTileMatrix::SymTileMatrix(idx n, idx nb) : n_(n), nb_(nb) {
+  require(n >= 0 && nb >= 1, "SymTileMatrix: bad dimensions");
+  nt_ = (n + nb - 1) / nb;
+  col_offset_.assign(static_cast<size_t>(nt_) + 1, 0);
+  idx total = 0;
+  for (idx j = 0; j < nt_; ++j) {
+    col_offset_[static_cast<size_t>(j)] = total;
+    for (idx i = j; i < nt_; ++i) total += rows_of(i) * cols_of(j);
+  }
+  col_offset_[static_cast<size_t>(nt_)] = total;
+  data_.assign(static_cast<size_t>(total), 0.0);
+}
+
+idx SymTileMatrix::offset(idx i, idx j) const {
+  // Tiles of column j are stored top (i == j) to bottom; all full-height
+  // tiles above tile i have nb_ rows.
+  idx off = col_offset_[static_cast<size_t>(j)];
+  for (idx r = j; r < i; ++r) off += rows_of(r) * cols_of(j);
+  return off;
+}
+
+double* SymTileMatrix::tile(idx i, idx j) { return data_.data() + offset(i, j); }
+
+const double* SymTileMatrix::tile(idx i, idx j) const {
+  return data_.data() + offset(i, j);
+}
+
+double& SymTileMatrix::at(idx i, idx j) {
+  const idx ti = i / nb_;
+  const idx tj = j / nb_;
+  return tile(ti, tj)[(i - ti * nb_) + (j - tj * nb_) * rows_of(ti)];
+}
+
+void SymTileMatrix::from_dense(const double* a, idx lda) {
+  for (idx tj = 0; tj < nt_; ++tj) {
+    for (idx ti = tj; ti < nt_; ++ti) {
+      double* t = tile(ti, tj);
+      const idx rows = rows_of(ti);
+      const idx cols = cols_of(tj);
+      const double* src = a + ti * nb_ + tj * nb_ * lda;
+      for (idx c = 0; c < cols; ++c)
+        for (idx r = 0; r < rows; ++r) t[r + c * rows] = src[r + c * lda];
+    }
+  }
+}
+
+Matrix SymTileMatrix::to_dense() const {
+  Matrix a(n_, n_);
+  for (idx tj = 0; tj < nt_; ++tj) {
+    for (idx ti = tj; ti < nt_; ++ti) {
+      const double* t = tile(ti, tj);
+      const idx rows = rows_of(ti);
+      const idx cols = cols_of(tj);
+      for (idx c = 0; c < cols; ++c) {
+        for (idx r = 0; r < rows; ++r) {
+          const idx gi = ti * nb_ + r;
+          const idx gj = tj * nb_ + c;
+          if (gi >= gj) {
+            a(gi, gj) = t[r + c * rows];
+            a(gj, gi) = t[r + c * rows];
+          }
+        }
+      }
+    }
+  }
+  return a;
+}
+
+BandMatrix::BandMatrix(idx n, idx bandwidth) : n_(n), bw_(bandwidth) {
+  require(n >= 0 && bandwidth >= 0, "BandMatrix: bad dimensions");
+  ab_.assign(static_cast<size_t>((bw_ + 1) * n_), 0.0);
+}
+
+Matrix BandMatrix::to_dense() const {
+  Matrix a(n_, n_);
+  for (idx j = 0; j < n_; ++j) {
+    const idx iend = std::min(n_, j + bw_ + 1);
+    for (idx i = j; i < iend; ++i) {
+      a(i, j) = at(i, j);
+      a(j, i) = at(i, j);
+    }
+  }
+  return a;
+}
+
+}  // namespace tseig::twostage

@@ -1,0 +1,85 @@
+// Tiled storage for the lower triangle of a symmetric matrix.
+//
+// The first stage of the two-stage algorithm is a tile algorithm (paper
+// Section 5.1): "the matrix is split into tiles, whereby data within a tile
+// is contiguous in memory and thus avoids the cache and TLB misses
+// associated with strided access".  SymTileMatrix stores each lower tile
+// (i, j), i >= j, as a contiguous column-major block.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace tseig::twostage {
+
+/// Contiguously tiled lower-symmetric matrix.
+class SymTileMatrix {
+public:
+  SymTileMatrix() = default;
+
+  /// Allocates tiles for an n-by-n symmetric matrix with tile size nb.
+  SymTileMatrix(idx n, idx nb);
+
+  idx n() const { return n_; }
+  idx nb() const { return nb_; }
+  /// Number of tile rows/columns.
+  idx nt() const { return nt_; }
+
+  /// Rows in tile block i (nb except possibly the last).
+  idx rows_of(idx i) const { return i + 1 == nt_ ? n_ - i * nb_ : nb_; }
+  /// Columns in tile block j.
+  idx cols_of(idx j) const { return rows_of(j); }
+
+  /// Pointer to tile (i, j), i >= j; leading dimension is rows_of(i).
+  double* tile(idx i, idx j);
+  const double* tile(idx i, idx j) const;
+
+  /// Element access by global indices (i >= j, lower triangle only).
+  double& at(idx i, idx j);
+
+  /// Imports the lower triangle of a dense column-major matrix.
+  void from_dense(const double* a, idx lda);
+
+  /// Exports to a full dense symmetric matrix (mirrors to both triangles).
+  Matrix to_dense() const;
+
+private:
+  idx offset(idx i, idx j) const;
+
+  idx n_ = 0;
+  idx nb_ = 0;
+  idx nt_ = 0;
+  std::vector<idx> col_offset_;  // start of tile column j in data_
+  std::vector<double> data_;
+};
+
+/// Symmetric band matrix in LAPACK lower-band storage: element (i, j) with
+/// 0 <= i - j <= bandwidth lives at ab[(i - j) + j * ldab], ldab = bw + 1.
+class BandMatrix {
+public:
+  BandMatrix() = default;
+  BandMatrix(idx n, idx bandwidth);
+
+  idx n() const { return n_; }
+  idx bandwidth() const { return bw_; }
+  idx ldab() const { return bw_ + 1; }
+
+  double* data() { return ab_.data(); }
+  const double* data() const { return ab_.data(); }
+
+  /// Element (i, j) of the lower triangle; i - j must be in [0, bandwidth].
+  double& at(idx i, idx j) { return ab_[static_cast<size_t>((i - j) + j * (bw_ + 1))]; }
+  double at(idx i, idx j) const { return ab_[static_cast<size_t>((i - j) + j * (bw_ + 1))]; }
+
+  /// Expands to a dense symmetric matrix (tests / baselines).
+  Matrix to_dense() const;
+
+private:
+  idx n_ = 0;
+  idx bw_ = 0;
+  std::vector<double> ab_;
+};
+
+}  // namespace tseig::twostage

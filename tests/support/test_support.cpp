@@ -1,0 +1,134 @@
+#include "test_support.hpp"
+
+#include <cmath>
+
+#include "blas/blas3.hpp"
+
+namespace tseig::testing {
+
+void ref_gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
+              const double* a, idx lda, const double* b, idx ldb, double beta,
+              double* c, idx ldc) {
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (idx p = 0; p < k; ++p) {
+        const double aip = transa == op::none ? a[i + p * lda] : a[p + i * lda];
+        const double bpj = transb == op::none ? b[p + j * ldb] : b[j + p * ldb];
+        acc += aip * bpj;
+      }
+      double& cij = c[i + j * ldc];
+      cij = alpha * acc + (beta == 0.0 ? 0.0 : beta * cij);
+    }
+  }
+}
+
+void ref_gemv(op trans, idx m, idx n, double alpha, const double* a, idx lda,
+              const double* x, idx incx, double beta, double* y, idx incy) {
+  const idx rows = trans == op::none ? m : n;
+  const idx inner = trans == op::none ? n : m;
+  for (idx i = 0; i < rows; ++i) {
+    double acc = 0.0;
+    for (idx p = 0; p < inner; ++p) {
+      const double aip = trans == op::none ? a[i + p * lda] : a[p + i * lda];
+      acc += aip * x[p * incx];
+    }
+    double& yi = y[i * incy];
+    yi = alpha * acc + (beta == 0.0 ? 0.0 : beta * yi);
+  }
+}
+
+Matrix sym_full(uplo ul, idx n, const double* a, idx lda) {
+  Matrix full(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const bool stored = (ul == uplo::lower) ? (i >= j) : (i <= j);
+      full(i, j) = stored ? a[i + j * lda] : a[j + i * lda];
+    }
+  }
+  return full;
+}
+
+Matrix tri_full(uplo ul, diag d, idx n, const double* a, idx lda) {
+  Matrix full(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      const bool stored = (ul == uplo::lower) ? (i >= j) : (i <= j);
+      if (i == j && d == diag::unit) {
+        full(i, j) = 1.0;
+      } else if (stored) {
+        full(i, j) = a[i + j * lda];
+      }
+    }
+  }
+  return full;
+}
+
+Matrix random_matrix(idx m, idx n, Rng& rng) {
+  Matrix a(m, n);
+  rng.fill_uniform(a.data(), m * n);
+  return a;
+}
+
+Matrix random_symmetric(idx n, Rng& rng) {
+  Matrix a(n, n);
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = j; i < n; ++i) {
+      const double v = 2.0 * rng.uniform() - 1.0;
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (idx j = 0; j < a.cols(); ++j)
+    for (idx i = 0; i < a.rows(); ++i)
+      worst = std::max(worst, std::fabs(a(i, j) - b(i, j)));
+  return worst;
+}
+
+double max_abs_diff(const double* a, const double* b, idx n) {
+  double worst = 0.0;
+  for (idx i = 0; i < n; ++i) worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+double fro_norm(const Matrix& a) {
+  double acc = 0.0;
+  for (idx j = 0; j < a.cols(); ++j)
+    for (idx i = 0; i < a.rows(); ++i) acc += a(i, j) * a(i, j);
+  return std::sqrt(acc);
+}
+
+double orthogonality_error(const Matrix& q) {
+  const idx n = q.cols();
+  Matrix gram(n, n);
+  blas::gemm(op::trans, op::none, n, n, q.rows(), 1.0, q.data(), q.ld(),
+             q.data(), q.ld(), 0.0, gram.data(), gram.ld());
+  double worst = 0.0;
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) {
+      const double expect = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::fabs(gram(i, j) - expect));
+    }
+  return worst;
+}
+
+double eigen_residual(const Matrix& a, const Matrix& z,
+                      const std::vector<double>& w) {
+  const idx n = a.rows();
+  const idx m = z.cols();
+  Matrix az(n, m);
+  blas::gemm(op::none, op::none, n, m, n, 1.0, a.data(), a.ld(), z.data(),
+             z.ld(), 0.0, az.data(), az.ld());
+  double worst = 0.0;
+  for (idx j = 0; j < m; ++j)
+    for (idx i = 0; i < n; ++i)
+      worst = std::max(worst, std::fabs(az(i, j) - w[static_cast<size_t>(j)] * z(i, j)));
+  return worst;
+}
+
+}  // namespace tseig::testing

@@ -1,0 +1,58 @@
+// Shared helpers for the tseig test suite: naive reference kernels (trusted
+// oracles for the optimized BLAS), random matrix builders and error metrics.
+#pragma once
+
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace tseig::testing {
+
+// ---- Naive reference kernels (straightforward triple loops) ----
+
+/// C <- alpha op(A) op(B) + beta C, reference implementation.
+void ref_gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
+              const double* a, idx lda, const double* b, idx ldb, double beta,
+              double* c, idx ldc);
+
+/// y <- alpha op(A) x + beta y, reference implementation.
+void ref_gemv(op trans, idx m, idx n, double alpha, const double* a, idx lda,
+              const double* x, idx incx, double beta, double* y, idx incy);
+
+/// Builds the full dense matrix equivalent of a stored triangle: symmetric
+/// mirror of the `ul` triangle of `a`.
+Matrix sym_full(uplo ul, idx n, const double* a, idx lda);
+
+/// Builds the dense equivalent of a stored triangular matrix (zero outside
+/// the triangle; unit diagonal when d == diag::unit).
+Matrix tri_full(uplo ul, diag d, idx n, const double* a, idx lda);
+
+// ---- Random builders ----
+
+/// Random m-by-n matrix with entries uniform in (-1, 1).
+Matrix random_matrix(idx m, idx n, Rng& rng);
+
+/// Random symmetric n-by-n matrix (full storage, both triangles coherent).
+Matrix random_symmetric(idx n, Rng& rng);
+
+// ---- Error metrics ----
+
+/// max_ij |a(i,j) - b(i,j)|.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// max_i |a[i] - b[i]| over n entries.
+double max_abs_diff(const double* a, const double* b, idx n);
+
+/// Frobenius norm.
+double fro_norm(const Matrix& a);
+
+/// ||Q^T Q - I||_max, orthogonality check for an m-by-n orthonormal basis.
+double orthogonality_error(const Matrix& q);
+
+/// ||A Z - Z diag(w)||_max, eigen-residual for symmetric A.
+double eigen_residual(const Matrix& a, const Matrix& z,
+                      const std::vector<double>& w);
+
+}  // namespace tseig::testing

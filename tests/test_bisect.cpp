@@ -1,0 +1,154 @@
+// Tests for Sturm bisection (stebz) and inverse iteration (stein).
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lapack/steqr.hpp"
+#include "test_support.hpp"
+#include "tridiag/bisect.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::eigen_residual;
+using testing::orthogonality_error;
+
+Matrix tridiag_dense(idx n, const std::vector<double>& d,
+                     const std::vector<double>& e) {
+  Matrix t(n, n);
+  for (idx i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<size_t>(i)];
+      t(i, i + 1) = e[static_cast<size_t>(i)];
+    }
+  }
+  return t;
+}
+
+std::vector<double> reference_eigs(idx n, std::vector<double> d,
+                                   std::vector<double> e) {
+  e.resize(static_cast<size_t>(n), 0.0);
+  lapack::sterf(n, d.data(), e.data());
+  return d;
+}
+
+class BisectSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(BisectSizes, SturmCountMatchesSortedSpectrum) {
+  const idx n = GetParam();
+  Rng rng(n * 3 + 2);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  if (n > 1) rng.fill_uniform(e.data(), n - 1);
+  auto ref = reference_eigs(n, d, e);
+  for (double x : {-2.0, -0.5, 0.0, 0.3, 1.5, 2.5}) {
+    const idx expect = static_cast<idx>(
+        std::lower_bound(ref.begin(), ref.end(), x) - ref.begin());
+    // Sturm counts eigenvalues < x; ties are measure-zero for random data.
+    EXPECT_EQ(tridiag::sturm_count(n, d.data(), e.data(), x), expect) << x;
+  }
+}
+
+TEST_P(BisectSizes, IndexRangeMatchesReference) {
+  const idx n = GetParam();
+  Rng rng(n * 5 + 7);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  if (n > 1) rng.fill_uniform(e.data(), n - 1);
+  auto ref = reference_eigs(n, d, e);
+
+  const idx il = n / 4;
+  const idx iu = std::min(n - 1, il + n / 2);
+  auto w = tridiag::stebz_index(n, d.data(), e.data(), il, iu);
+  ASSERT_EQ(static_cast<idx>(w.size()), iu - il + 1);
+  for (idx j = 0; j < static_cast<idx>(w.size()); ++j)
+    EXPECT_NEAR(w[static_cast<size_t>(j)], ref[static_cast<size_t>(il + j)],
+                1e-12 * n);
+}
+
+TEST_P(BisectSizes, InverseIterationEigenpairs) {
+  const idx n = GetParam();
+  Rng rng(n * 7 + 11);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  if (n > 1) rng.fill_uniform(e.data(), n - 1);
+  Matrix t = tridiag_dense(n, d, e);
+
+  auto w = tridiag::stebz_index(n, d.data(), e.data(), 0, n - 1);
+  Matrix z(n, n);
+  tridiag::stein(n, d.data(), e.data(), w, z.data(), z.ld());
+  EXPECT_LE(eigen_residual(t, z, w), 1e-10 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BisectSizes,
+                         ::testing::Values<idx>(1, 2, 5, 16, 33, 64, 128));
+
+TEST(Bisect, ValueRangeSelectsInterval) {
+  const idx n = 60;
+  Rng rng(3);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  auto ref = reference_eigs(n, d, e);
+
+  const double vl = -0.5, vu = 0.75;
+  auto w = tridiag::stebz_value(n, d.data(), e.data(), vl, vu);
+  std::vector<double> expect;
+  for (double v : ref)
+    if (v > vl && v <= vu) expect.push_back(v);
+  ASSERT_EQ(w.size(), expect.size());
+  for (size_t j = 0; j < w.size(); ++j) EXPECT_NEAR(w[j], expect[j], 1e-11);
+}
+
+TEST(Bisect, SubsetTwentyPercent) {
+  // The Figure-4d scenario: smallest 20% of the spectrum only.
+  const idx n = 100;
+  Rng rng(9);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  Matrix t = tridiag_dense(n, d, e);
+
+  const idx m = n / 5;
+  auto w = tridiag::stebz_index(n, d.data(), e.data(), 0, m - 1);
+  Matrix z(n, m);
+  tridiag::stein(n, d.data(), e.data(), w, z.data(), z.ld());
+  EXPECT_LE(eigen_residual(t, z, w), 1e-10 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-8 * n);
+}
+
+TEST(Bisect, WilkinsonClusterOrthogonality) {
+  // Wilkinson W21's top eigenvalue pairs agree to ~1e-14; inverse iteration
+  // must reorthogonalize within those clusters.
+  const idx n = 21;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 1.0);
+  for (idx i = 0; i < n; ++i) d[static_cast<size_t>(i)] = std::fabs(static_cast<double>(i) - 10.0);
+  e[static_cast<size_t>(n - 1)] = 0.0;
+  Matrix t = tridiag_dense(n, d, e);
+
+  auto w = tridiag::stebz_index(n, d.data(), e.data(), 0, n - 1);
+  Matrix z(n, n);
+  tridiag::stein(n, d.data(), e.data(), w, z.data(), z.ld());
+  EXPECT_LE(eigen_residual(t, z, w), 1e-11 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-8 * n);
+}
+
+TEST(Bisect, GershgorinExtremesBracketSpectrum) {
+  const idx n = 30;
+  Rng rng(15);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  auto ref = reference_eigs(n, d, e);
+  // Counts at +-inf proxies.
+  EXPECT_EQ(tridiag::sturm_count(n, d.data(), e.data(), ref.front() - 1.0), 0);
+  EXPECT_EQ(tridiag::sturm_count(n, d.data(), e.data(), ref.back() + 1.0), n);
+}
+
+}  // namespace
+}  // namespace tseig

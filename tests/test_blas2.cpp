@@ -1,0 +1,210 @@
+// Unit tests for the Level-2 BLAS kernels against reference implementations.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas2.hpp"
+#include "common/rng.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::max_abs_diff;
+using testing::random_matrix;
+using testing::ref_gemv;
+using testing::sym_full;
+using testing::tri_full;
+
+class GemvShapes : public ::testing::TestWithParam<std::tuple<idx, idx>> {};
+
+TEST_P(GemvShapes, NoTransMatchesReference) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 131 + n);
+  Matrix a = random_matrix(m, n, rng);
+  std::vector<double> x(n), y(m), yref;
+  rng.fill_uniform(x.data(), n);
+  rng.fill_uniform(y.data(), m);
+  yref = y;
+  blas::gemv(op::none, m, n, 1.3, a.data(), a.ld(), x.data(), 1, -0.4,
+             y.data(), 1);
+  ref_gemv(op::none, m, n, 1.3, a.data(), a.ld(), x.data(), 1, -0.4,
+           yref.data(), 1);
+  EXPECT_LE(max_abs_diff(y.data(), yref.data(), m), 1e-12 * (n + 1));
+}
+
+TEST_P(GemvShapes, TransMatchesReference) {
+  const auto [m, n] = GetParam();
+  Rng rng(m * 7 + n);
+  Matrix a = random_matrix(m, n, rng);
+  std::vector<double> x(m), y(n), yref;
+  rng.fill_uniform(x.data(), m);
+  rng.fill_uniform(y.data(), n);
+  yref = y;
+  blas::gemv(op::trans, m, n, -0.7, a.data(), a.ld(), x.data(), 1, 2.0,
+             y.data(), 1);
+  ref_gemv(op::trans, m, n, -0.7, a.data(), a.ld(), x.data(), 1, 2.0,
+           yref.data(), 1);
+  EXPECT_LE(max_abs_diff(y.data(), yref.data(), n), 1e-12 * (m + 1));
+}
+
+TEST_P(GemvShapes, BetaZeroIgnoresInitialY) {
+  const auto [m, n] = GetParam();
+  Rng rng(5);
+  Matrix a = random_matrix(m, n, rng);
+  std::vector<double> x(n);
+  rng.fill_uniform(x.data(), n);
+  std::vector<double> y(m, std::nan(""));
+  std::vector<double> yref(m, 0.0);
+  blas::gemv(op::none, m, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+             y.data(), 1);
+  ref_gemv(op::none, m, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
+           yref.data(), 1);
+  EXPECT_LE(max_abs_diff(y.data(), yref.data(), m), 1e-12 * (n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemvShapes,
+    ::testing::Values(std::make_tuple<idx, idx>(1, 1),
+                      std::make_tuple<idx, idx>(3, 5),
+                      std::make_tuple<idx, idx>(8, 8),
+                      std::make_tuple<idx, idx>(17, 4),
+                      std::make_tuple<idx, idx>(4, 17),
+                      std::make_tuple<idx, idx>(64, 64),
+                      std::make_tuple<idx, idx>(100, 37),
+                      std::make_tuple<idx, idx>(33, 129)));
+
+class SymvSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(SymvSizes, LowerMatchesFullGemv) {
+  const idx n = GetParam();
+  Rng rng(n);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix full = sym_full(uplo::lower, n, a.data(), a.ld());
+  std::vector<double> x(n), y(n), yref;
+  rng.fill_uniform(x.data(), n);
+  rng.fill_uniform(y.data(), n);
+  yref = y;
+  blas::symv(uplo::lower, n, 0.9, a.data(), a.ld(), x.data(), 1, 0.3,
+             y.data(), 1);
+  ref_gemv(op::none, n, n, 0.9, full.data(), full.ld(), x.data(), 1, 0.3,
+           yref.data(), 1);
+  EXPECT_LE(max_abs_diff(y.data(), yref.data(), n), 1e-12 * (n + 1));
+}
+
+TEST_P(SymvSizes, UpperMatchesFullGemv) {
+  const idx n = GetParam();
+  Rng rng(n + 1);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix full = sym_full(uplo::upper, n, a.data(), a.ld());
+  std::vector<double> x(n), y(n), yref;
+  rng.fill_uniform(x.data(), n);
+  rng.fill_uniform(y.data(), n);
+  yref = y;
+  blas::symv(uplo::upper, n, -1.1, a.data(), a.ld(), x.data(), 1, 1.0,
+             y.data(), 1);
+  ref_gemv(op::none, n, n, -1.1, full.data(), full.ld(), x.data(), 1, 1.0,
+           yref.data(), 1);
+  EXPECT_LE(max_abs_diff(y.data(), yref.data(), n), 1e-12 * (n + 1));
+}
+
+TEST_P(SymvSizes, Syr2MatchesDenseUpdate) {
+  const idx n = GetParam();
+  Rng rng(n + 2);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix full = sym_full(uplo::lower, n, a.data(), a.ld());
+  std::vector<double> x(n), y(n);
+  rng.fill_uniform(x.data(), n);
+  rng.fill_uniform(y.data(), n);
+  const double alpha = 0.6;
+  blas::syr2(uplo::lower, n, alpha, x.data(), 1, y.data(), 1, a.data(), a.ld());
+  for (idx j = 0; j < n; ++j)
+    for (idx i = j; i < n; ++i) {
+      const double expect = full(i, j) + alpha * (x[i] * y[j] + y[i] * x[j]);
+      EXPECT_NEAR(a(i, j), expect, 1e-14);
+    }
+}
+
+TEST_P(SymvSizes, SyrMatchesDenseUpdate) {
+  const idx n = GetParam();
+  Rng rng(n + 3);
+  Matrix a = random_matrix(n, n, rng);
+  Matrix before = a;
+  std::vector<double> x(n);
+  rng.fill_uniform(x.data(), n);
+  blas::syr(uplo::upper, n, 1.5, x.data(), 1, a.data(), a.ld());
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i <= j; ++i)
+      EXPECT_NEAR(a(i, j), before(i, j) + 1.5 * x[i] * x[j], 1e-14);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SymvSizes,
+                         ::testing::Values<idx>(1, 2, 5, 16, 31, 64, 117));
+
+TEST(Ger, MatchesDenseUpdate) {
+  const idx m = 23, n = 17;
+  Rng rng(3);
+  Matrix a = random_matrix(m, n, rng);
+  Matrix before = a;
+  std::vector<double> x(m), y(n);
+  rng.fill_uniform(x.data(), m);
+  rng.fill_uniform(y.data(), n);
+  blas::ger(m, n, -0.8, x.data(), 1, y.data(), 1, a.data(), a.ld());
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < m; ++i)
+      EXPECT_NEAR(a(i, j), before(i, j) - 0.8 * x[i] * y[j], 1e-14);
+}
+
+struct TriCase {
+  uplo ul;
+  op trans;
+  diag d;
+};
+
+class TrmvCases : public ::testing::TestWithParam<TriCase> {};
+
+TEST_P(TrmvCases, MatchesDenseGemv) {
+  const auto c = GetParam();
+  const idx n = 37;
+  Rng rng(23);
+  Matrix a = random_matrix(n, n, rng);
+  // Keep diagonals away from zero so trsv is well-conditioned too.
+  for (idx i = 0; i < n; ++i) a(i, i) += 3.0;
+  Matrix full = tri_full(c.ul, c.d, n, a.data(), a.ld());
+  std::vector<double> x(n), xref(n);
+  rng.fill_uniform(x.data(), n);
+  std::vector<double> x0 = x;
+  blas::trmv(c.ul, c.trans, c.d, n, a.data(), a.ld(), x.data(), 1);
+  ref_gemv(c.trans, n, n, 1.0, full.data(), full.ld(), x0.data(), 1, 0.0,
+           xref.data(), 1);
+  EXPECT_LE(max_abs_diff(x.data(), xref.data(), n), 1e-12 * n);
+}
+
+TEST_P(TrmvCases, TrsvInvertsTrmv) {
+  const auto c = GetParam();
+  const idx n = 53;
+  Rng rng(29);
+  Matrix a = random_matrix(n, n, rng);
+  for (idx i = 0; i < n; ++i) a(i, i) += 4.0;
+  std::vector<double> x(n);
+  rng.fill_uniform(x.data(), n);
+  std::vector<double> x0 = x;
+  blas::trmv(c.ul, c.trans, c.d, n, a.data(), a.ld(), x.data(), 1);
+  blas::trsv(c.ul, c.trans, c.d, n, a.data(), a.ld(), x.data(), 1);
+  EXPECT_LE(max_abs_diff(x.data(), x0.data(), n), 1e-11 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TrmvCases,
+    ::testing::Values(TriCase{uplo::lower, op::none, diag::non_unit},
+                      TriCase{uplo::lower, op::none, diag::unit},
+                      TriCase{uplo::lower, op::trans, diag::non_unit},
+                      TriCase{uplo::lower, op::trans, diag::unit},
+                      TriCase{uplo::upper, op::none, diag::non_unit},
+                      TriCase{uplo::upper, op::none, diag::unit},
+                      TriCase{uplo::upper, op::trans, diag::non_unit},
+                      TriCase{uplo::upper, op::trans, diag::unit}));
+
+}  // namespace
+}  // namespace tseig

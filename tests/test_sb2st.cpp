@@ -1,0 +1,196 @@
+// Tests for the stage-2 bulge chasing (band -> tridiagonal, recording Q2).
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas3.hpp"
+#include "common/rng.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/generators.hpp"
+#include "lapack/householder.hpp"
+#include "lapack/steqr.hpp"
+#include "onestage/sytrd.hpp"
+#include "test_support.hpp"
+#include "twostage/sb2st.hpp"
+#include "twostage/sy2sb.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::max_abs_diff;
+using testing::orthogonality_error;
+
+/// Builds a random symmetric band matrix.
+twostage::BandMatrix random_band(idx n, idx bw, Rng& rng) {
+  twostage::BandMatrix b(n, bw);
+  for (idx j = 0; j < n; ++j)
+    for (idx i = j; i < std::min(n, j + bw + 1); ++i)
+      b.at(i, j) = 2.0 * rng.uniform() - 1.0;
+  return b;
+}
+
+/// Eigenvalues of a dense symmetric matrix via the one-stage baseline.
+std::vector<double> dense_eigenvalues(Matrix a) {
+  const idx n = a.rows();
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n)),
+      tau(static_cast<size_t>(n));
+  onestage::sytrd(n, a.data(), a.ld(), d.data(), e.data(), tau.data(), 16);
+  lapack::sterf(n, d.data(), e.data());
+  return d;
+}
+
+/// Materializes Q2 = H_1 H_2 ... H_K (reflectors in generation order) by
+/// dense accumulation -- the trusted oracle for the factored form.
+Matrix dense_q2(const twostage::V2Factor& v2) {
+  const idx n = v2.n();
+  Matrix q(n, n);
+  lapack::laset(n, n, 0.0, 1.0, q.data(), q.ld());
+  std::vector<double> work(static_cast<size_t>(n));
+  // Apply H_k to Q from the left for k = K .. 1 (so Q = H_1 (... H_K I)).
+  for (idx s = v2.nsweeps() - 1; s >= 0; --s) {
+    for (idx b = v2.nblocks(s) - 1; b >= 0; --b) {
+      const double tau = v2.tau(s, b);
+      if (tau == 0.0) continue;
+      const idx r = v2.start(s, b);
+      const idx len = v2.len(s, b);
+      lapack::larf(side::left, len, n, v2.v(s, b), 1, tau,
+                   q.data() + r, q.ld(), work.data());
+    }
+  }
+  return q;
+}
+
+class Sb2stShapes
+    : public ::testing::TestWithParam<std::tuple<idx, idx>> {};
+
+TEST_P(Sb2stShapes, SimilarityHoldsAndEigenvaluesPreserved) {
+  const auto [n, bw] = GetParam();
+  Rng rng(n * 31 + bw);
+  auto band = random_band(n, bw, rng);
+  Matrix bdense = band.to_dense();
+
+  auto res = twostage::sb2st(band);
+
+  // Eigenvalues of T match eigenvalues of B.
+  auto expect = dense_eigenvalues(bdense);
+  std::vector<double> d = res.d, e = res.e;
+  lapack::sterf(n, d.data(), e.data());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<size_t>(i)], expect[static_cast<size_t>(i)],
+                1e-10 * n)
+        << i;
+
+  // Q2^T B Q2 == T with the dense-accumulated Q2.
+  Matrix q2 = dense_q2(res.v2);
+  EXPECT_LE(orthogonality_error(q2), 1e-12 * n);
+  Matrix bq(n, n), t(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, bdense.data(), bdense.ld(),
+             q2.data(), q2.ld(), 0.0, bq.data(), bq.ld());
+  blas::gemm(op::trans, op::none, n, n, n, 1.0, q2.data(), q2.ld(),
+             bq.data(), bq.ld(), 0.0, t.data(), t.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      double expect_t = 0.0;
+      if (i == j) expect_t = res.d[static_cast<size_t>(i)];
+      if (i == j + 1) expect_t = res.e[static_cast<size_t>(j)];
+      if (j == i + 1) expect_t = res.e[static_cast<size_t>(i)];
+      EXPECT_NEAR(t(i, j), expect_t, 1e-11 * n) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, Sb2stShapes,
+                         ::testing::Values(std::make_tuple<idx, idx>(3, 2),
+                                           std::make_tuple<idx, idx>(8, 3),
+                                           std::make_tuple<idx, idx>(16, 4),
+                                           std::make_tuple<idx, idx>(17, 5),
+                                           std::make_tuple<idx, idx>(32, 8),
+                                           std::make_tuple<idx, idx>(45, 7),
+                                           std::make_tuple<idx, idx>(64, 16),
+                                           std::make_tuple<idx, idx>(50, 2)));
+
+class Sb2stSchedules
+    : public ::testing::TestWithParam<std::tuple<int, int, idx>> {};
+
+TEST_P(Sb2stSchedules, ParallelMatchesSequentialBitwise) {
+  const auto [workers, stage2_workers, group] = GetParam();
+  const idx n = 60, bw = 8;
+  Rng rng(5);
+  auto band = random_band(n, bw, rng);
+
+  auto seq = twostage::sb2st(band);
+  twostage::Sb2stOptions opts;
+  opts.num_workers = workers;
+  opts.stage2_workers = stage2_workers;
+  opts.group = group;
+  auto par = twostage::sb2st(band, opts);
+
+  EXPECT_EQ(seq.d, par.d);
+  EXPECT_EQ(seq.e, par.e);
+  for (idx s = 0; s < seq.v2.nsweeps(); ++s) {
+    for (idx b = 0; b < seq.v2.nblocks(s); ++b) {
+      EXPECT_EQ(seq.v2.tau(s, b), par.v2.tau(s, b));
+      EXPECT_LE(max_abs_diff(seq.v2.v(s, b), par.v2.v(s, b),
+                             seq.v2.len(s, b)),
+                0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, Sb2stSchedules,
+    ::testing::Values(std::make_tuple<int, int, idx>(2, 0, 1),
+                      std::make_tuple<int, int, idx>(4, 0, 1),
+                      std::make_tuple<int, int, idx>(4, 2, 1),
+                      std::make_tuple<int, int, idx>(4, 1, 1),
+                      std::make_tuple<int, int, idx>(4, 0, 2),
+                      std::make_tuple<int, int, idx>(3, 2, 4),
+                      std::make_tuple<int, int, idx>(8, 3, 3)));
+
+TEST(Sb2st, AlreadyTridiagonalIsPassedThrough) {
+  const idx n = 12;
+  Rng rng(7);
+  auto band = random_band(n, 1, rng);
+  auto res = twostage::sb2st(band);
+  for (idx i = 0; i < n; ++i) EXPECT_EQ(res.d[static_cast<size_t>(i)], band.at(i, i));
+  for (idx i = 0; i + 1 < n; ++i)
+    EXPECT_EQ(res.e[static_cast<size_t>(i)], band.at(i + 1, i));
+  // All recorded reflectors are trivial.
+  for (idx s = 0; s < res.v2.nsweeps(); ++s)
+    for (idx b = 0; b < res.v2.nblocks(s); ++b)
+      EXPECT_EQ(res.v2.tau(s, b), 0.0);
+}
+
+TEST(Sb2st, TinyMatrices) {
+  Rng rng(9);
+  for (idx n : {idx{1}, idx{2}, idx{3}}) {
+    auto band = random_band(n, std::max<idx>(1, n - 1), rng);
+    auto res = twostage::sb2st(band);
+    auto expect = dense_eigenvalues(band.to_dense());
+    std::vector<double> d = res.d, e = res.e;
+    lapack::sterf(n, d.data(), e.data());
+    for (idx i = 0; i < n; ++i)
+      EXPECT_NEAR(d[static_cast<size_t>(i)], expect[static_cast<size_t>(i)], 1e-13);
+  }
+}
+
+TEST(Sb2st, TwoStagePipelinePreservesSpectrum) {
+  // Dense -> band (stage 1) -> tridiagonal (stage 2): the end-to-end
+  // reduction of the paper, eigenvalues must match the prescribed spectrum.
+  const idx n = 70, nb = 12;
+  Rng rng(13);
+  auto eigs = lapack::make_spectrum(lapack::spectrum_kind::linear, n, 0, rng);
+  Matrix a = lapack::symmetric_with_spectrum(eigs, rng);
+
+  auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+  auto s2 = twostage::sb2st(s1.band);
+  std::vector<double> d = s2.d, e = s2.e;
+  lapack::sterf(n, d.data(), e.data());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<size_t>(i)], eigs[static_cast<size_t>(i)],
+                1e-9 * n);
+}
+
+}  // namespace
+}  // namespace tseig

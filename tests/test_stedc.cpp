@@ -1,0 +1,171 @@
+// Tests for the divide-and-conquer tridiagonal eigensolver.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/steqr.hpp"
+#include "test_support.hpp"
+#include "tridiag/stedc.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::eigen_residual;
+using testing::orthogonality_error;
+
+Matrix tridiag_dense(idx n, const std::vector<double>& d,
+                     const std::vector<double>& e) {
+  Matrix t(n, n);
+  for (idx i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<size_t>(i)];
+      t(i, i + 1) = e[static_cast<size_t>(i)];
+    }
+  }
+  return t;
+}
+
+void check_eigensystem(idx n, const std::vector<double>& d0,
+                       const std::vector<double>& e0, idx crossover,
+                       double tol_scale = 1.0) {
+  Matrix t = tridiag_dense(n, d0, e0);
+  std::vector<double> d = d0, e = e0;
+  e.resize(static_cast<size_t>(n), 0.0);
+  Matrix z(n, n);
+  tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), crossover);
+
+  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
+  EXPECT_LE(eigen_residual(t, z, d), 1e-11 * n * tol_scale);
+  EXPECT_LE(orthogonality_error(z), 1e-11 * n * tol_scale);
+
+  // Eigenvalues must match the QL/QR reference.
+  std::vector<double> dref = d0, eref = e0;
+  eref.resize(static_cast<size_t>(n), 0.0);
+  lapack::sterf(n, dref.data(), eref.data());
+  const double scale = std::max(std::fabs(dref.front()), std::fabs(dref.back()));
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<size_t>(i)], dref[static_cast<size_t>(i)],
+                1e-12 * n * std::max(scale, 1.0) * tol_scale)
+        << i;
+}
+
+class StedcSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(StedcSizes, RandomTridiagonal) {
+  const idx n = GetParam();
+  Rng rng(n * 11 + 1);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  if (n > 1) rng.fill_uniform(e.data(), n - 1);
+  check_eigensystem(n, d, e, 16);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, StedcSizes,
+                         ::testing::Values<idx>(1, 2, 5, 16, 17, 33, 64, 100,
+                                                150, 257));
+
+TEST(Stedc, ToeplitzAnalyticSpectrum) {
+  const idx n = 120;
+  std::vector<double> d(static_cast<size_t>(n), 2.0),
+      e(static_cast<size_t>(n), -1.0);
+  e[static_cast<size_t>(n - 1)] = 0.0;
+  std::vector<double> dc = d, ec = e;
+  Matrix z(n, n);
+  tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 24);
+  for (idx k = 0; k < n; ++k) {
+    const double s = std::sin((k + 1) * M_PI / (2.0 * (n + 1)));
+    EXPECT_NEAR(dc[static_cast<size_t>(k)], 4.0 * s * s, 1e-12 * n);
+  }
+  EXPECT_LE(orthogonality_error(z), 1e-12 * n);
+}
+
+TEST(Stedc, CrossoverValuesAgree) {
+  const idx n = 90;
+  Rng rng(5);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  Matrix t = tridiag_dense(n, d, e);
+  for (idx crossover : {idx{4}, idx{8}, idx{32}, idx{128}}) {
+    std::vector<double> dc = d, ec = e;
+    Matrix z(n, n);
+    tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), crossover);
+    EXPECT_LE(eigen_residual(t, z, dc), 1e-11 * n) << crossover;
+    EXPECT_LE(orthogonality_error(z), 1e-11 * n) << crossover;
+  }
+}
+
+TEST(Stedc, ZeroCouplingSplitsCleanly) {
+  // e[m] == 0 at the split point: rho == 0 path (no secular solve).
+  const idx n = 40;
+  Rng rng(7);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  e[n / 2 - 1] = 0.0;
+  check_eigensystem(n, d, e, 8);
+}
+
+TEST(Stedc, GluedWilkinsonHeavyDeflation) {
+  // Glued Wilkinson matrices: famously clustered spectrum that stresses
+  // deflation and eigenvector orthogonality.
+  const idx blocks = 4, bn = 21;
+  const idx n = blocks * bn;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  for (idx b = 0; b < blocks; ++b)
+    for (idx i = 0; i < bn; ++i)
+      d[static_cast<size_t>(b * bn + i)] = std::fabs(static_cast<double>(i) - 10.0);
+  for (idx i = 0; i + 1 < n; ++i)
+    e[static_cast<size_t>(i)] = (i % bn == bn - 1) ? 1e-8 : 1.0;
+
+  Matrix t = tridiag_dense(n, d, e);
+  std::vector<double> dc = d, ec = e;
+  Matrix z(n, n);
+  tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 16);
+  EXPECT_LE(eigen_residual(t, z, dc), 1e-10 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-10 * n);
+
+  const auto stats = tridiag::stedc_last_stats();
+  EXPECT_GT(stats.merges, 0);
+  EXPECT_GT(stats.deflated, 0);  // clustered spectrum must deflate
+}
+
+TEST(Stedc, ConstantDiagonalDeflatesCompletely) {
+  // T = c I: every merge deflates everything; eigenvectors are identity-ish.
+  const idx n = 48;
+  std::vector<double> d(static_cast<size_t>(n), 3.25),
+      e(static_cast<size_t>(n), 0.0);
+  Matrix z(n, n);
+  std::vector<double> dc = d, ec = e;
+  tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 8);
+  for (idx i = 0; i < n; ++i) EXPECT_DOUBLE_EQ(dc[static_cast<size_t>(i)], 3.25);
+  EXPECT_LE(orthogonality_error(z), 1e-13 * n);
+}
+
+TEST(Stedc, NegativeCouplingHandled) {
+  // The rank-one correction uses |beta| with a sign carried into z; verify a
+  // matrix with negative off-diagonals at every split.
+  const idx n = 50;
+  Rng rng(13);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  for (idx i = 0; i + 1 < n; ++i) e[static_cast<size_t>(i)] = -0.5 - rng.uniform();
+  check_eigensystem(n, d, e, 8);
+}
+
+TEST(Stedc, LargeProblemAccuracy) {
+  const idx n = 400;
+  Rng rng(17);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  check_eigensystem(n, d, e, 32);
+}
+
+}  // namespace
+}  // namespace tseig

@@ -1,0 +1,210 @@
+// Tests for the tridiagonal QL/QR eigensolver (steqr/sterf) and the
+// test-matrix generators.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas3.hpp"
+#include "common/rng.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/generators.hpp"
+#include "lapack/steqr.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::orthogonality_error;
+
+/// Builds the dense matrix for tridiagonal (d, e).
+Matrix tridiag_dense(const std::vector<double>& d,
+                     const std::vector<double>& e) {
+  const idx n = static_cast<idx>(d.size());
+  Matrix t(n, n);
+  for (idx i = 0; i < n; ++i) {
+    t(i, i) = d[static_cast<size_t>(i)];
+    if (i + 1 < n) {
+      t(i + 1, i) = e[static_cast<size_t>(i)];
+      t(i, i + 1) = e[static_cast<size_t>(i)];
+    }
+  }
+  return t;
+}
+
+class SteqrSizes : public ::testing::TestWithParam<idx> {};
+
+TEST_P(SteqrSizes, ToeplitzAnalyticSpectrum) {
+  const idx n = GetParam();
+  // T = tridiag(-1, 2, -1): lambda_k = 4 sin^2(k pi / (2(n+1))), k=1..n.
+  std::vector<double> d(static_cast<size_t>(n), 2.0);
+  std::vector<double> e(static_cast<size_t>(n), -1.0);
+  lapack::sterf(n, d.data(), e.data());
+  for (idx k = 0; k < n; ++k) {
+    const double s = std::sin((k + 1) * M_PI / (2.0 * (n + 1)));
+    EXPECT_NEAR(d[static_cast<size_t>(k)], 4.0 * s * s, 1e-12 * n);
+  }
+}
+
+TEST_P(SteqrSizes, RandomTridiagEigenpairs) {
+  const idx n = GetParam();
+  Rng rng(n * 5 + 3);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n));
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1 > 0 ? n - 1 : 0);
+  Matrix t = tridiag_dense(d, e);
+
+  Matrix z(n, n);
+  lapack::laset(n, n, 0.0, 1.0, z.data(), z.ld());
+  std::vector<double> w = d;
+  std::vector<double> ework = e;
+  lapack::steqr(n, w.data(), ework.data(), z.data(), z.ld(), n);
+
+  EXPECT_LE(testing::eigen_residual(t, z, w), 1e-12 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-12 * n);
+  EXPECT_TRUE(std::is_sorted(w.begin(), w.end()));
+
+  // Eigenvalues-only path agrees.
+  std::vector<double> w2 = d, e2 = e;
+  lapack::sterf(n, w2.data(), e2.data());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(w[static_cast<size_t>(i)], w2[static_cast<size_t>(i)], 1e-11 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SteqrSizes,
+                         ::testing::Values<idx>(1, 2, 3, 5, 8, 16, 33, 64,
+                                                100, 250));
+
+TEST(Steqr, DiagonalMatrixIsSorted) {
+  std::vector<double> d = {3.0, -1.0, 2.0, 0.5};
+  std::vector<double> e = {0.0, 0.0, 0.0, 0.0};
+  Matrix z(4, 4);
+  lapack::laset(4, 4, 0.0, 1.0, z.data(), z.ld());
+  lapack::steqr(4, d.data(), e.data(), z.data(), z.ld(), 4);
+  const std::vector<double> expect = {-1.0, 0.5, 2.0, 3.0};
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(d[i], expect[i]);
+  // z must be the permutation matrix sorting the diagonal.
+  EXPECT_DOUBLE_EQ(z(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(z(3, 1), 1.0);
+  EXPECT_DOUBLE_EQ(z(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(z(0, 3), 1.0);
+}
+
+TEST(Steqr, TwoByTwoExact) {
+  // [[a, b], [b, c]] has analytic eigenvalues.
+  const double a = 1.0, b = 2.0, c = -1.0;
+  std::vector<double> d = {a, c}, e = {b, 0.0};
+  lapack::sterf(2, d.data(), e.data());
+  const double mid = (a + c) / 2.0;
+  const double rad = std::sqrt((a - c) * (a - c) / 4.0 + b * b);
+  EXPECT_NEAR(d[0], mid - rad, 1e-14);
+  EXPECT_NEAR(d[1], mid + rad, 1e-14);
+}
+
+TEST(Steqr, WilkinsonW21NearDegeneratePairs) {
+  // Wilkinson's W21+: d = |i - 10|, e = 1.  Its large eigenvalues come in
+  // famously close pairs; QL must still resolve orthogonal eigenvectors.
+  const idx n = 21;
+  std::vector<double> d(21), e(21, 1.0);
+  e[20] = 0.0;
+  for (idx i = 0; i < n; ++i) d[static_cast<size_t>(i)] = std::fabs(static_cast<double>(i) - 10.0);
+  Matrix t = tridiag_dense(d, e);
+  Matrix z(n, n);
+  lapack::laset(n, n, 0.0, 1.0, z.data(), z.ld());
+  std::vector<double> w = d, ework = e;
+  lapack::steqr(n, w.data(), ework.data(), z.data(), z.ld(), n);
+  EXPECT_LE(testing::eigen_residual(t, z, w), 1e-13 * n);
+  EXPECT_LE(orthogonality_error(z), 1e-13 * n);
+  // The top pair is separated by ~1e-15 relative; they must still be distinct
+  // sorted values around 10.746.
+  EXPECT_NEAR(w[20], 10.746194182903393, 1e-9);
+  EXPECT_NEAR(w[19], 10.746194182903322, 1e-9);
+}
+
+TEST(Steqr, AccumulatesIntoExistingBasis) {
+  // Passing Q as the initial z yields eigenvectors of Q T Q^T.
+  const idx n = 24;
+  Rng rng(9);
+  Matrix q;
+  lapack::random_orthogonal(n, rng, q);
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n));
+  rng.fill_uniform(d.data(), n);
+  rng.fill_uniform(e.data(), n - 1);
+  Matrix t = tridiag_dense(d, e);
+
+  // A = Q T Q^T.
+  Matrix qt(n, n), a(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, q.data(), q.ld(), t.data(),
+             t.ld(), 0.0, qt.data(), qt.ld());
+  blas::gemm(op::none, op::trans, n, n, n, 1.0, qt.data(), qt.ld(), q.data(),
+             q.ld(), 0.0, a.data(), a.ld());
+
+  Matrix z = q;
+  std::vector<double> w = d, ework = e;
+  lapack::steqr(n, w.data(), ework.data(), z.data(), z.ld(), n);
+  EXPECT_LE(testing::eigen_residual(a, z, w), 1e-12 * n);
+}
+
+TEST(Generators, RandomOrthogonalIsOrthogonal) {
+  Rng rng(123);
+  Matrix q;
+  lapack::random_orthogonal(64, rng, q);
+  EXPECT_LE(orthogonality_error(q), 1e-12 * 64);
+}
+
+class SpectrumKinds
+    : public ::testing::TestWithParam<lapack::spectrum_kind> {};
+
+TEST_P(SpectrumKinds, SymmetricWithSpectrumHasMatchingInvariants) {
+  Rng rng(55);
+  const idx n = 48;
+  auto eigs = lapack::make_spectrum(GetParam(), n, 1e6, rng);
+  Matrix a = lapack::symmetric_with_spectrum(eigs, rng);
+
+  // trace(A) == sum of eigenvalues; ||A||_F == sqrt(sum lambda^2).
+  double trace = 0.0;
+  for (idx i = 0; i < n; ++i) trace += a(i, i);
+  const double sum = std::accumulate(eigs.begin(), eigs.end(), 0.0);
+  EXPECT_NEAR(trace, sum, 1e-9 * n);
+
+  double sumsq = 0.0;
+  for (double v : eigs) sumsq += v * v;
+  EXPECT_NEAR(lapack::lansy(lapack::norm::fro, uplo::lower, n, a.data(),
+                            a.ld()),
+              std::sqrt(sumsq), 1e-9 * n);
+
+  // Symmetry.
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) EXPECT_EQ(a(i, j), a(j, i));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, SpectrumKinds,
+    ::testing::Values(lapack::spectrum_kind::linear,
+                      lapack::spectrum_kind::geometric,
+                      lapack::spectrum_kind::clustered,
+                      lapack::spectrum_kind::two_cluster,
+                      lapack::spectrum_kind::random_uniform));
+
+TEST(Aux, LangeNormsMatchDefinitions) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = -2; a(0, 2) = 3;
+  a(1, 0) = -4; a(1, 1) = 5; a(1, 2) = -6;
+  EXPECT_DOUBLE_EQ(lapack::lange(lapack::norm::max, 2, 3, a.data(), a.ld()), 6.0);
+  EXPECT_DOUBLE_EQ(lapack::lange(lapack::norm::one, 2, 3, a.data(), a.ld()), 9.0);
+  EXPECT_DOUBLE_EQ(lapack::lange(lapack::norm::inf, 2, 3, a.data(), a.ld()), 15.0);
+  EXPECT_NEAR(lapack::lange(lapack::norm::fro, 2, 3, a.data(), a.ld()),
+              std::sqrt(91.0), 1e-14);
+}
+
+TEST(Aux, Lapy2ExtremeValues) {
+  EXPECT_DOUBLE_EQ(lapack::lapy2(3.0, 4.0), 5.0);
+  EXPECT_DOUBLE_EQ(lapack::lapy2(0.0, 0.0), 0.0);
+  EXPECT_NEAR(lapack::lapy2(1e300, 1e300), std::sqrt(2.0) * 1e300, 1e287);
+  EXPECT_NEAR(lapack::lapy2(1e-300, 1e-300), std::sqrt(2.0) * 1e-300, 1e-313);
+}
+
+}  // namespace
+}  // namespace tseig

@@ -1,0 +1,161 @@
+// Integration tests for the stage-1 dense-to-band reduction and Q1.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blas/blas3.hpp"
+#include "common/rng.hpp"
+#include "lapack/aux.hpp"
+#include "lapack/generators.hpp"
+#include "lapack/steqr.hpp"
+#include "onestage/sytrd.hpp"
+#include "test_support.hpp"
+#include "twostage/sy2sb.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::max_abs_diff;
+using testing::orthogonality_error;
+
+/// Materializes Q1 by applying it to the identity.
+Matrix build_q1(const twostage::Q1Factor& q1, int workers = 1) {
+  Matrix q(q1.n, q1.n);
+  lapack::laset(q1.n, q1.n, 0.0, 1.0, q.data(), q.ld());
+  twostage::apply_q1(op::none, q1, q.data(), q.ld(), q1.n, workers);
+  return q;
+}
+
+class Sy2sbShapes
+    : public ::testing::TestWithParam<std::tuple<idx, idx, int>> {};
+
+TEST_P(Sy2sbShapes, ReconstructsAAndPreservesBand) {
+  const auto [n, nb, workers] = GetParam();
+  Rng rng(n * 7 + nb);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), nb, workers);
+  EXPECT_EQ(res.band.bandwidth(), std::min<idx>(nb, n - 1));
+
+  // B must actually be banded (guaranteed by storage) and symmetric source
+  // entries untouched outside the band; check Q1 B Q1^T == A.
+  Matrix b = res.band.to_dense();
+  Matrix q = build_q1(res.q1, workers);
+  EXPECT_LE(orthogonality_error(q), 1e-11 * n);
+
+  Matrix qb(n, n), qbqt(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, q.data(), q.ld(), b.data(),
+             b.ld(), 0.0, qb.data(), qb.ld());
+  blas::gemm(op::none, op::trans, n, n, n, 1.0, qb.data(), qb.ld(), q.data(),
+             q.ld(), 0.0, qbqt.data(), qbqt.ld());
+  EXPECT_LE(max_abs_diff(qbqt, a), 1e-10 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, Sy2sbShapes,
+    ::testing::Values(std::make_tuple<idx, idx, int>(8, 4, 1),
+                      std::make_tuple<idx, idx, int>(16, 4, 1),
+                      std::make_tuple<idx, idx, int>(33, 8, 1),   // ragged
+                      std::make_tuple<idx, idx, int>(64, 16, 1),
+                      std::make_tuple<idx, idx, int>(65, 16, 1),  // ragged
+                      std::make_tuple<idx, idx, int>(96, 32, 1),
+                      std::make_tuple<idx, idx, int>(100, 12, 1),
+                      std::make_tuple<idx, idx, int>(64, 16, 4),  // parallel
+                      std::make_tuple<idx, idx, int>(100, 12, 3),
+                      std::make_tuple<idx, idx, int>(65, 16, 2)));
+
+TEST(Sy2sb, ParallelMatchesSequential) {
+  const idx n = 80, nb = 16;
+  Rng rng(11);
+  Matrix a = testing::random_symmetric(n, rng);
+  auto seq = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+  auto par = twostage::sy2sb(n, a.data(), a.ld(), nb, 4);
+  // The DAG execution must produce bit-identical results to the sequential
+  // order (same kernels, same operands, hazards enforce the same dataflow).
+  Matrix bs = seq.band.to_dense();
+  Matrix bp = par.band.to_dense();
+  EXPECT_LE(max_abs_diff(bs, bp), 0.0);
+  for (size_t i = 0; i < seq.q1.vg.size(); ++i)
+    EXPECT_LE(max_abs_diff(seq.q1.vg[i], par.q1.vg[i]), 0.0);
+  for (size_t i = 0; i < seq.q1.vts.size(); ++i)
+    EXPECT_LE(max_abs_diff(seq.q1.vts[i], par.q1.vts[i]), 0.0);
+}
+
+TEST(Sy2sb, PreservesEigenvalues) {
+  const idx n = 72, nb = 12;
+  Rng rng(13);
+  auto eigs = lapack::make_spectrum(lapack::spectrum_kind::linear, n, 0, rng);
+  Matrix a = lapack::symmetric_with_spectrum(eigs, rng);
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+
+  // Eigenvalues of the band matrix must match the prescribed spectrum;
+  // tridiagonalize the densified band with the one-stage baseline.
+  Matrix b = res.band.to_dense();
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n)),
+      tau(static_cast<size_t>(n));
+  onestage::sytrd(n, b.data(), b.ld(), d.data(), e.data(), tau.data(), 16);
+  lapack::sterf(n, d.data(), e.data());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<size_t>(i)], eigs[static_cast<size_t>(i)],
+                1e-9 * n);
+}
+
+TEST(Sy2sb, ApplyQ1TransIsInverse) {
+  const idx n = 48, nb = 8;
+  Rng rng(17);
+  Matrix a = testing::random_symmetric(n, rng);
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+
+  Matrix g = testing::random_matrix(n, 10, rng);
+  Matrix g0 = g;
+  twostage::apply_q1(op::none, res.q1, g.data(), g.ld(), 10);
+  twostage::apply_q1(op::trans, res.q1, g.data(), g.ld(), 10);
+  EXPECT_LE(max_abs_diff(g, g0), 1e-11 * n);
+}
+
+TEST(Sy2sb, ApplyQ1ParallelMatchesSequential) {
+  const idx n = 64, nb = 16;
+  Rng rng(19);
+  Matrix a = testing::random_symmetric(n, rng);
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+
+  Matrix g = testing::random_matrix(n, 40, rng);
+  Matrix gs = g, gp = g;
+  twostage::apply_q1(op::none, res.q1, gs.data(), gs.ld(), 40, 1, 16);
+  twostage::apply_q1(op::none, res.q1, gp.data(), gp.ld(), 40, 4, 16);
+  EXPECT_LE(max_abs_diff(gs, gp), 0.0);
+}
+
+TEST(Sy2sb, SingleTileIsIdentityQ1) {
+  const idx n = 10;
+  Rng rng(23);
+  Matrix a = testing::random_symmetric(n, rng);
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), 16, 1);  // nb >= n
+  Matrix b = res.band.to_dense();
+  EXPECT_LE(max_abs_diff(b, a), 0.0);
+  Matrix q = build_q1(res.q1);
+  Matrix eye(n, n);
+  lapack::laset(n, n, 0.0, 1.0, eye.data(), eye.ld());
+  EXPECT_LE(max_abs_diff(q, eye), 0.0);
+}
+
+TEST(Sy2sb, BandProfileIsExact) {
+  // Every entry outside the band must be exactly zero by construction, and
+  // the band dense expansion symmetric.
+  const idx n = 40, nb = 8;
+  Rng rng(29);
+  Matrix a = testing::random_symmetric(n, rng);
+  auto res = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
+  Matrix b = res.band.to_dense();
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i) {
+      if (std::abs(i - j) > nb) {
+        EXPECT_EQ(b(i, j), 0.0);
+      }
+      EXPECT_EQ(b(i, j), b(j, i));
+    }
+}
+
+}  // namespace
+}  // namespace tseig

@@ -1,0 +1,198 @@
+// Integration tests for the public syev driver: every combination of
+// reduction method, tridiagonal solver, job and fraction.
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "lapack/generators.hpp"
+#include "solver/syev.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using solver::eig_solver;
+using solver::jobz;
+using solver::method;
+using solver::syev;
+using solver::SyevOptions;
+
+struct Config {
+  method algo;
+  eig_solver solver;
+};
+
+class SyevConfigs : public ::testing::TestWithParam<Config> {};
+
+TEST_P(SyevConfigs, FullEigenpairsSolveA) {
+  const auto cfg = GetParam();
+  const idx n = 72;
+  Rng rng(91);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  SyevOptions opts;
+  opts.algo = cfg.algo;
+  opts.solver = cfg.solver;
+  opts.nb = 16;
+  auto res = syev(n, a.data(), a.ld(), opts);
+
+  ASSERT_EQ(res.eigenvalues.size(), static_cast<size_t>(n));
+  ASSERT_EQ(res.z.cols(), n);
+  EXPECT_TRUE(std::is_sorted(res.eigenvalues.begin(), res.eigenvalues.end()));
+  EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n);
+  EXPECT_LE(testing::orthogonality_error(res.z), 1e-8 * n);
+  EXPECT_GT(res.phases.reduction_flops, 0u);
+  EXPECT_GT(res.phases.reduction_seconds, 0.0);
+}
+
+TEST_P(SyevConfigs, ValuesOnlyMatchesVectorRun) {
+  const auto cfg = GetParam();
+  const idx n = 48;
+  Rng rng(17);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  SyevOptions opts;
+  opts.algo = cfg.algo;
+  opts.solver = cfg.solver;
+  opts.nb = 12;
+  auto full = syev(n, a.data(), a.ld(), opts);
+  opts.job = jobz::values_only;
+  auto vals = syev(n, a.data(), a.ld(), opts);
+
+  ASSERT_EQ(vals.eigenvalues.size(), static_cast<size_t>(n));
+  EXPECT_EQ(vals.z.cols(), 0);
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(vals.eigenvalues[static_cast<size_t>(i)],
+                full.eigenvalues[static_cast<size_t>(i)], 1e-10 * n);
+}
+
+TEST_P(SyevConfigs, TwentyPercentSubset) {
+  const auto cfg = GetParam();
+  const idx n = 60;
+  Rng rng(23);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  SyevOptions opts;
+  opts.algo = cfg.algo;
+  opts.solver = cfg.solver;
+  opts.nb = 12;
+  opts.fraction = 0.2;
+  auto res = syev(n, a.data(), a.ld(), opts);
+
+  const idx m = n / 5;
+  ASSERT_EQ(res.z.cols(), m);
+  // The returned eigenvectors must correspond to the m smallest eigenvalues.
+  std::vector<double> wsub(res.eigenvalues.begin(),
+                           res.eigenvalues.begin() + m);
+  EXPECT_LE(testing::eigen_residual(a, res.z, wsub), 1e-10 * n);
+  EXPECT_LE(testing::orthogonality_error(res.z), 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SyevConfigs,
+    ::testing::Values(Config{method::one_stage, eig_solver::qr},
+                      Config{method::one_stage, eig_solver::dc},
+                      Config{method::one_stage, eig_solver::bisect},
+                      Config{method::two_stage, eig_solver::qr},
+                      Config{method::two_stage, eig_solver::dc},
+                      Config{method::two_stage, eig_solver::bisect}));
+
+TEST(Syev, OneAndTwoStageAgreeOnKnownSpectrum) {
+  const idx n = 64;
+  Rng rng(29);
+  auto eigs = lapack::make_spectrum(lapack::spectrum_kind::linear, n, 0, rng);
+  Matrix a = lapack::symmetric_with_spectrum(eigs, rng);
+
+  for (method algo : {method::one_stage, method::two_stage}) {
+    SyevOptions opts;
+    opts.algo = algo;
+    opts.nb = 16;
+    auto res = syev(n, a.data(), a.ld(), opts);
+    for (idx i = 0; i < n; ++i)
+      EXPECT_NEAR(res.eigenvalues[static_cast<size_t>(i)],
+                  eigs[static_cast<size_t>(i)], 1e-9 * n);
+  }
+}
+
+TEST(Syev, ParallelWorkersMatchSequential) {
+  const idx n = 80;
+  Rng rng(31);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  SyevOptions seq;
+  seq.nb = 16;
+  auto r1 = syev(n, a.data(), a.ld(), seq);
+  SyevOptions par = seq;
+  par.num_workers = 4;
+  par.stage2_workers = 2;
+  auto r2 = syev(n, a.data(), a.ld(), par);
+
+  for (idx i = 0; i < n; ++i)
+    EXPECT_EQ(r1.eigenvalues[static_cast<size_t>(i)],
+              r2.eigenvalues[static_cast<size_t>(i)]);
+  EXPECT_LE(testing::max_abs_diff(r1.z, r2.z), 0.0);
+}
+
+TEST(Syev, PhaseBreakdownIsConsistent) {
+  const idx n = 64;
+  Rng rng(37);
+  Matrix a = testing::random_symmetric(n, rng);
+  SyevOptions opts;
+  opts.nb = 16;
+  auto res = syev(n, a.data(), a.ld(), opts);
+  EXPECT_NEAR(res.phases.reduction_seconds,
+              res.phases.stage1_seconds + res.phases.stage2_seconds, 1e-12);
+  EXPECT_GT(res.phases.solve_flops, 0u);
+  EXPECT_GT(res.phases.update_flops, 0u);
+  // Reduction flop count should be near (4/3) n^3 + stage-2's 6 n^2 nb.
+  const double expect = 4.0 / 3.0 * std::pow(n, 3) + 6.0 * n * n * 16;
+  EXPECT_LT(std::fabs(static_cast<double>(res.phases.reduction_flops) - expect),
+            1.2 * expect);
+}
+
+TEST(Syev, RejectsBadArguments) {
+  Matrix a(4, 4);
+  SyevOptions opts;
+  opts.fraction = 0.0;
+  EXPECT_THROW(solver::syev(4, a.data(), a.ld(), opts), invalid_argument);
+  opts.fraction = 1.5;
+  EXPECT_THROW(solver::syev(4, a.data(), a.ld(), opts), invalid_argument);
+  opts.fraction = 1.0;
+  EXPECT_THROW(solver::syev(0, a.data(), a.ld(), opts), invalid_argument);
+}
+
+TEST(Syev, TinyMatrices) {
+  Rng rng(41);
+  for (idx n : {idx{1}, idx{2}, idx{3}, idx{5}}) {
+    Matrix a = testing::random_symmetric(n, rng);
+    for (method algo : {method::one_stage, method::two_stage}) {
+      SyevOptions opts;
+      opts.algo = algo;
+      opts.nb = 4;
+      auto res = solver::syev(n, a.data(), a.ld(), opts);
+      EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-12 * (n + 1));
+    }
+  }
+}
+
+
+TEST(Syev, AutoNbSelectsValidTiling) {
+  // nb == 0 picks a size-dependent tile width; results must stay correct.
+  Rng rng(47);
+  for (idx n : {idx{40}, idx{200}, idx{700}}) {
+    Matrix a = testing::random_symmetric(n, rng);
+    SyevOptions opts;
+    opts.nb = 0;
+    auto res = solver::syev(n, a.data(), a.ld(), opts);
+    EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n)
+        << n;
+    EXPECT_LE(testing::orthogonality_error(res.z), 1e-10 * n) << n;
+  }
+}
+
+}  // namespace
+}  // namespace tseig

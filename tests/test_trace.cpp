@@ -1,0 +1,81 @@
+// Tests for the runtime trace export (Chrome tracing JSON + summaries).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "runtime/task_graph.hpp"
+#include "runtime/trace_io.hpp"
+
+namespace tseig {
+namespace {
+
+std::vector<rt::TraceEvent> run_traced(int workers, int tasks) {
+  rt::TaskGraph g;
+  for (int i = 0; i < tasks; ++i) {
+    rt::TaskGraph::Options opts;
+    opts.label = "work";
+    g.submit(
+        [] {
+          volatile double x = 0.0;
+          for (int k = 0; k < 1000; ++k) x = x + k;
+        },
+        {rt::wr(rt::region_key(42, static_cast<std::uint32_t>(i), 0))}, opts);
+  }
+  g.enable_tracing(true);
+  g.run(workers);
+  return g.trace();
+}
+
+TEST(TraceIo, JsonIsWellFormedAndComplete) {
+  auto events = run_traced(3, 17);
+  ASSERT_EQ(events.size(), 17u);
+  const std::string json = rt::to_chrome_trace(events);
+  // Structural sanity (no JSON parser offline): brace balance and one
+  // record per task.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  size_t count = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       ++count, ++pos) {
+  }
+  EXPECT_EQ(count, 17u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"work\""), std::string::npos);
+}
+
+TEST(TraceIo, WriteCreatesFile) {
+  auto events = run_traced(2, 5);
+  const std::string path = "/tmp/tseig_trace_test.json";
+  rt::write_chrome_trace(events, path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), rt::to_chrome_trace(events));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, SummaryAccountsAllTasks) {
+  auto events = run_traced(4, 32);
+  auto s = rt::summarize(events);
+  EXPECT_EQ(s.tasks, 32);
+  EXPECT_GT(s.makespan, 0.0);
+  double total = 0.0;
+  for (double b : s.busy_seconds) total += b;
+  EXPECT_GT(total, 0.0);
+  // Busy time can never exceed workers * makespan.
+  EXPECT_LE(total, s.busy_seconds.size() * s.makespan * 1.0001 + 1e-9);
+}
+
+TEST(TraceIo, EmptyTrace) {
+  std::vector<rt::TraceEvent> none;
+  EXPECT_EQ(rt::to_chrome_trace(none), "{\"traceEvents\":[]}");
+  auto s = rt::summarize(none);
+  EXPECT_EQ(s.tasks, 0);
+  EXPECT_EQ(s.makespan, 0.0);
+}
+
+}  // namespace
+}  // namespace tseig
