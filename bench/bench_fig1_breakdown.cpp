@@ -6,7 +6,8 @@
 // (b) the reductions and update shrink ~3x, leaving "Eig of T" at ~50% of
 // the reduced total.
 //
-// Usage: bench_fig1_breakdown [--nmax N] [--nb NB]
+// Usage: bench_fig1_breakdown [--nmax N] [--nb NB] [--workers W]
+//        (W <= 0 selects the library default / TSEIG_NUM_THREADS)
 #include <cstdio>
 
 #include "bench_support.hpp"
@@ -41,6 +42,7 @@ void breakdown_row(idx n, const solver::SyevResult& r, bool two_stage) {
 int main(int argc, char** argv) {
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 1024);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
+  const int workers = bench::arg_workers(argc, argv);
 
   std::printf("Figure 1a reproduction: one-stage phase shares "
               "(all eigenvectors, D&C)\n");
@@ -75,8 +77,10 @@ int main(int argc, char** argv) {
     opts.algo = solver::method::two_stage;
     opts.solver = solver::eig_solver::dc;
     opts.nb = nb;
+    opts.num_workers = workers;
     breakdown_row(n, solver::syev(n, a.data(), a.ld(), opts), true);
   }
+  bench::print_pool_stats();
 
   std::printf("\npaper shapes: (a) TRD >60%% with vectors, ~90%% values-only;\n"
               "(b) reduction+update shrink, Eig of T grows toward ~50%%.\n");

@@ -12,7 +12,8 @@
 // printed makes the accounting explicit.)  Two-stage rows are appended:
 // reduction 4/3 n^3 + 6 n^2 nb and the doubled update 4 n^3 f of Section 4.
 //
-// Usage: bench_table1_complexity [--n N]
+// Usage: bench_table1_complexity [--n N] [--nb NB] [--workers W]
+//        (W <= 0 selects the library default / TSEIG_NUM_THREADS)
 #include <cstdio>
 
 #include "bench_support.hpp"
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
 
   solver::SyevOptions opts;
   opts.nb = nb;
+  opts.num_workers = bench::arg_workers(argc, argv);
 
   // --- one-stage rows (the table's rows). ---
   opts.algo = solver::method::one_stage;

@@ -5,6 +5,7 @@
 
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig::bench {
 
@@ -50,6 +51,23 @@ double arg_double(int argc, char** argv, const std::string& key,
     if (key == argv[i]) return std::atof(argv[i + 1]);
   }
   return fallback;
+}
+
+int arg_workers(int argc, char** argv, int fallback) {
+  const int w = static_cast<int>(arg_idx(argc, argv, "--workers",
+                                         static_cast<idx>(fallback)));
+  return rt::resolve_num_workers(w);
+}
+
+void print_pool_stats() {
+  const rt::PoolStats s = rt::ThreadPool::instance().stats();
+  std::printf("pool: %llu threads created, %llu jobs, %llu parks, "
+              "%llu unparks\n",
+              static_cast<unsigned long long>(s.threads_created),
+              static_cast<unsigned long long>(s.jobs_executed),
+              static_cast<unsigned long long>(s.parks),
+              static_cast<unsigned long long>(s.unparks));
+  std::fflush(stdout);
 }
 
 bool arg_flag(int argc, char** argv, const std::string& key) {

@@ -46,6 +46,17 @@ void print_header(const std::string& label,
 /// Parses "--key value" style overrides from argv; returns fallback when the
 /// key is absent.  Lets every bench binary rescale to bigger machines.
 idx arg_idx(int argc, char** argv, const std::string& key, idx fallback);
+
+/// Worker count for a bench: "--workers W" with W <= 0 (or an absent flag
+/// with fallback <= 0) resolving to the library default -- the same single
+/// resolution point (TSEIG_NUM_THREADS / hardware concurrency) the solver
+/// uses.
+int arg_workers(int argc, char** argv, int fallback = 1);
+
+/// Prints the persistent thread pool's counters (threads ever created, jobs
+/// executed, park/unpark events) -- lets a bench show that warm iterations
+/// create no OS threads.
+void print_pool_stats();
 double arg_double(int argc, char** argv, const std::string& key,
                   double fallback);
 bool arg_flag(int argc, char** argv, const std::string& key);

@@ -5,63 +5,46 @@
 // gives individual Level-3 kernels a way to use idle cores for very large
 // flat loops (e.g. the baseline's SYR2K trailing update).  Worker count
 // defaults to TSEIG_NUM_THREADS or the hardware concurrency.
+//
+// Both constructs execute on the same persistent rt::ThreadPool, so a warm
+// call spawns no OS threads, and parallel_for invoked from *inside* a pool
+// worker (a BLAS-3 kernel running in a TaskGraph tile task) detects the
+// nesting and runs serially instead of oversubscribing the machine.
 #pragma once
 
-#include <condition_variable>
-#include <cstdlib>
+#include <algorithm>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
 
 #include "common/types.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig {
 
-/// Number of worker threads used by default across the library.  Reads
-/// TSEIG_NUM_THREADS once; falls back to std::thread::hardware_concurrency().
-inline int default_num_threads() {
-  static const int cached = [] {
-    if (const char* env = std::getenv("TSEIG_NUM_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return v;
-    }
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
-  }();
-  return cached;
-}
-
 /// Runs fn(i) for i in [begin, end) potentially in parallel.  Chunks of at
 /// least `grain` iterations are assigned to at most default_num_threads()
-/// worker threads.  Falls back to a serial loop when the range is small or
-/// only one worker is configured.  fn must be safe to invoke concurrently on
-/// distinct indices.
+/// pool workers (non-positive grain is treated as 1).  Falls back to a
+/// serial loop when the range is small, only one worker is configured, or
+/// the caller is itself a pool worker (nested parallelism).  fn must be safe
+/// to invoke concurrently on distinct indices.
 inline void parallel_for(idx begin, idx end, idx grain,
                          const std::function<void(idx)>& fn) {
   const idx n = end - begin;
   if (n <= 0) return;
-  const int max_threads = default_num_threads();
-  const idx max_chunks = grain > 0 ? (n + grain - 1) / grain : 1;
-  const int nthreads =
-      static_cast<int>(std::min<idx>(max_threads, max_chunks));
+  if (grain <= 0) grain = 1;
+  const idx max_chunks = (n + grain - 1) / grain;
+  int nthreads =
+      static_cast<int>(std::min<idx>(default_num_threads(), max_chunks));
+  if (rt::ThreadPool::in_parallel_region()) nthreads = 1;
   if (nthreads <= 1) {
     for (idx i = begin; i < end; ++i) fn(i);
     return;
   }
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(nthreads) - 1);
   const idx chunk = (n + nthreads - 1) / nthreads;
-  auto run_range = [&](idx lo, idx hi) {
-    for (idx i = lo; i < hi; ++i) fn(i);
-  };
-  for (int t = 1; t < nthreads; ++t) {
+  rt::ThreadPool::instance().fork_join(nthreads, [&](int t) {
     const idx lo = begin + t * chunk;
     const idx hi = std::min(end, lo + chunk);
-    if (lo < hi) workers.emplace_back(run_range, lo, hi);
-  }
-  run_range(begin, std::min(end, begin + chunk));
-  for (auto& w : workers) w.join();
+    for (idx i = lo; i < hi; ++i) fn(i);
+  });
 }
 
 }  // namespace tseig

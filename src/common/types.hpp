@@ -32,8 +32,9 @@ public:
 };
 
 /// Throws invalid_argument when `cond` is false.  Used to validate public API
-/// arguments; internal kernels use assertions instead.
-inline void require(bool cond, const char* msg) {
+/// arguments; internal kernels use assertions instead.  constexpr so that
+/// compile-time helpers (e.g. rt::region_key) can validate their inputs.
+constexpr void require(bool cond, const char* msg) {
   if (!cond) throw invalid_argument(msg);
 }
 

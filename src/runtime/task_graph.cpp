@@ -5,9 +5,9 @@
 #include <exception>
 #include <mutex>
 #include <queue>
-#include <thread>
 
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig::rt {
 
@@ -52,7 +52,11 @@ idx TaskGraph::submit(std::function<void()> fn,
 }
 
 void TaskGraph::run(int num_workers) {
-  require(num_workers >= 1, "TaskGraph::run: need at least one worker");
+  num_workers = resolve_num_workers(num_workers);
+  // Nested graph (a task of an outer graph runs a graph of its own):
+  // execute on the calling thread only -- the outer graph's workers already
+  // own the machine.
+  if (ThreadPool::in_parallel_region()) num_workers = 1;
   trace_.clear();
 
   struct ReadyEntry {
@@ -144,11 +148,13 @@ void TaskGraph::run(int num_workers) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_workers) - 1);
-  for (int w = 1; w < num_workers; ++w) threads.emplace_back(worker_loop, w);
-  worker_loop(0);
-  for (auto& th : threads) th.join();
+  if (num_workers == 1) {
+    worker_loop(0);
+  } else {
+    // Borrow num_workers - 1 persistent pool workers for the duration of
+    // this graph; the calling thread is logical worker 0.
+    ThreadPool::instance().fork_join(num_workers, worker_loop);
+  }
 
   tasks_.clear();
   regions_.clear();

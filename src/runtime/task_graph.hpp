@@ -41,12 +41,25 @@ struct Access {
   access mode = access::read;
 };
 
+/// Field widths of region_key's packing: tag | i | j fill the 64-bit key
+/// with disjoint masked fields (8 + 28 + 28 bits).
+constexpr std::uint32_t kRegionTagBits = 8;
+constexpr std::uint32_t kRegionCoordBits = 28;
+
 /// Builds a region key from a tag and two coordinates (e.g. tile indices or
-/// sweep/block indices).  Tags keep different arrays' keys disjoint.
+/// sweep/block indices).  Tags keep different arrays' keys disjoint.  The
+/// fields are disjoint bit ranges, so distinct in-range triples always map
+/// to distinct keys; out-of-range coordinates throw (the previous XOR
+/// packing silently merged regions once i or j reached 2^24, dropping
+/// dependence edges).
 constexpr std::uint64_t region_key(std::uint32_t tag, std::uint32_t i,
                                    std::uint32_t j) {
-  return (static_cast<std::uint64_t>(tag) << 48) ^
-         (static_cast<std::uint64_t>(i) << 24) ^ static_cast<std::uint64_t>(j);
+  require(tag < (1u << kRegionTagBits) && i < (1u << kRegionCoordBits) &&
+              j < (1u << kRegionCoordBits),
+          "region_key: tag or coordinate out of field range");
+  return (static_cast<std::uint64_t>(tag) << (2 * kRegionCoordBits)) |
+         (static_cast<std::uint64_t>(i) << kRegionCoordBits) |
+         static_cast<std::uint64_t>(j);
 }
 
 /// Convenience factories for access declarations.
@@ -96,9 +109,14 @@ public:
     return submit(std::move(fn), accesses, Options());
   }
 
-  /// Executes the whole graph on `num_workers` threads (>=1).  The calling
-  /// thread acts as worker 0.  Rethrows the first task exception after all
-  /// workers have drained.  The graph is left empty and reusable.
+  /// Executes the whole graph on `num_workers` logical workers (>=1); 0 or
+  /// negative selects default_num_threads().  The calling thread acts as
+  /// worker 0, the rest are borrowed from the persistent rt::ThreadPool (no
+  /// OS threads are spawned on warm calls).  When run() is invoked from
+  /// inside a pool worker (a nested graph), it executes on the calling
+  /// thread alone instead of oversubscribing.  Rethrows the first task
+  /// exception after all workers have drained.  The graph is left empty and
+  /// reusable.
   void run(int num_workers);
 
   /// Number of tasks currently submitted.

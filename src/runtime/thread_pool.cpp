@@ -1,0 +1,187 @@
+#include "runtime/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace tseig::rt {
+namespace {
+
+/// Pool worker id of this thread; -1 on external threads.
+thread_local int tl_worker_id = -1;
+
+/// Depth of fork_join calls the current (external) thread is inside of.
+/// TaskGraph's logical worker 0 runs on the caller's thread, so nesting
+/// detection cannot rely on tl_worker_id alone.
+thread_local int tl_region_depth = 0;
+
+struct RegionGuard {
+  RegionGuard() { ++tl_region_depth; }
+  ~RegionGuard() { --tl_region_depth; }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One fork_join invocation: the bodies with index >= 1 become tickets on
+  /// the shared queue, the caller runs body 0 and then waits on `done`.
+  struct Batch {
+    const std::function<void(int)>* job = nullptr;
+    std::atomic<int> remaining{0};  // bodies not yet finished (incl. body 0)
+    std::mutex m;
+    std::condition_variable done;
+  };
+
+  struct Ticket {
+    Batch* batch = nullptr;
+    int index = 0;
+  };
+
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers park here
+  std::deque<Ticket> queue;
+  std::vector<std::thread> workers;
+  // Workers currently executing a ticket body.  The pool keeps
+  // workers.size() >= busy + queue.size() so that every queued ticket has a
+  // live worker available: TaskGraph pins tasks to logical workers, and a
+  // pinned task can only run if its worker loop actually executes
+  // concurrently with the rest of the graph.
+  int busy = 0;
+  bool stop = false;
+
+  // Counters (mu-protected except jobs, which hot paths bump lock-free).
+  std::uint64_t threads_created = 0;
+  std::uint64_t parks = 0;
+  std::uint64_t unparks = 0;
+  std::atomic<std::uint64_t> jobs{0};
+
+  void worker_main(int id) {
+    tl_worker_id = id;
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      if (queue.empty()) {
+        if (stop) return;
+        ++parks;
+        work_cv.wait(lock);
+        ++unparks;
+        continue;
+      }
+      const Ticket t = queue.front();
+      queue.pop_front();
+      ++busy;
+      lock.unlock();
+      (*t.batch->job)(t.index);
+      jobs.fetch_add(1, std::memory_order_relaxed);
+      finish_body(*t.batch);
+      lock.lock();
+      --busy;
+    }
+  }
+
+  /// Marks one body of `b` finished; wakes the fork_join caller on the last.
+  /// The decrement happens under b.m: the caller's wait predicate can only
+  /// observe remaining == 0 while holding b.m, i.e. after this worker has
+  /// released it, so the batch cannot be destroyed under our feet.
+  static void finish_body(Batch& b) {
+    std::lock_guard<std::mutex> g(b.m);
+    if (b.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+      b.done.notify_all();
+  }
+
+  /// Grows the pool (caller holds mu) until every outstanding ticket can run
+  /// on its own worker.
+  void ensure_capacity() {
+    const size_t needed = static_cast<size_t>(busy) + queue.size();
+    while (workers.size() < needed) {
+      const int id = static_cast<int>(workers.size());
+      workers.emplace_back([this, id] { worker_main(id); });
+      ++threads_created;
+    }
+  }
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::Impl* ThreadPool::impl() {
+  // Lazy, race-free construction without taking a lock on the hot path.
+  static std::once_flag once;
+  std::call_once(once, [this] { impl_ = new Impl(); });
+  return impl_;
+}
+
+ThreadPool::~ThreadPool() {
+  if (impl_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->work_cv.notify_all();
+  for (auto& th : impl_->workers) th.join();
+  delete impl_;
+  impl_ = nullptr;
+}
+
+int ThreadPool::current_worker_id() { return tl_worker_id; }
+
+bool ThreadPool::in_parallel_region() {
+  return tl_worker_id >= 0 || tl_region_depth > 0;
+}
+
+void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
+  require(njobs >= 1, "ThreadPool::fork_join: need at least one body");
+  require(!in_parallel_region(),
+          "ThreadPool::fork_join: nested call from inside a parallel region "
+          "(callers must detect nesting and run serially)");
+  Impl& im = *impl();
+  RegionGuard region;
+  if (njobs == 1) {
+    job(0);
+    im.jobs.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Impl::Batch batch;
+  batch.job = &job;
+  batch.remaining.store(njobs, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (int k = 1; k < njobs; ++k) im.queue.push_back({&batch, k});
+    im.ensure_capacity();
+  }
+  for (int k = 1; k < njobs; ++k) im.work_cv.notify_one();
+
+  job(0);
+  im.jobs.fetch_add(1, std::memory_order_relaxed);
+  Impl::finish_body(batch);
+
+  std::unique_lock<std::mutex> lock(batch.m);
+  batch.done.wait(lock, [&] {
+    return batch.remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+PoolStats ThreadPool::stats() const {
+  PoolStats out;
+  Impl* im = const_cast<ThreadPool*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  out.threads_created = im->threads_created;
+  out.parks = im->parks;
+  out.unparks = im->unparks;
+  out.jobs_executed = im->jobs.load(std::memory_order_relaxed);
+  return out;
+}
+
+int ThreadPool::size() const {
+  Impl* im = const_cast<ThreadPool*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im->mu);
+  return static_cast<int>(im->workers.size());
+}
+
+}  // namespace tseig::rt

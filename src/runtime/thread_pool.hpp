@@ -1,0 +1,121 @@
+// Process-wide persistent worker pool shared by every parallel construct in
+// the library.
+//
+// The paper's runtime (PLASMA/QUARK) keeps one fixed thread team alive for
+// the whole solve; tseig previously spawned and joined a fresh std::thread
+// fleet for every TaskGraph::run and every parallel_for call, so a single
+// two-stage syev created hundreds of short-lived OS threads (sy2sb graph,
+// sb2st graph, q2/q1 back-transform graphs, plus BLAS-3 parallel_for inside
+// tile tasks).  This pool replaces all of that:
+//
+//  * workers are created lazily, on first demand, and then parked on a
+//    condition variable between uses -- warm calls create zero threads;
+//  * TaskGraph::run borrows workers for the duration of one graph execution
+//    (its scheduling semantics -- priorities, pinned per-worker queues --
+//    are unchanged, they just execute on borrowed pool workers);
+//  * parallel_for forks its chunks onto the same pool and, when invoked
+//    *from* a pool worker (e.g. a BLAS-3 kernel running inside a tile task),
+//    detects the nesting and runs serially instead of oversubscribing;
+//  * lightweight counters (threads ever created, jobs executed, park and
+//    unpark events) are queryable so tests and benches can assert the
+//    "zero new threads after warm-up" property.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+
+namespace tseig {
+
+/// Number of worker threads used by default across the library.  Reads
+/// TSEIG_NUM_THREADS once; falls back to std::thread::hardware_concurrency().
+/// This is the single resolution point for "how many threads should tseig
+/// use" -- SyevOptions::num_workers <= 0, bench --workers 0 and parallel_for
+/// all funnel through it.
+inline int default_num_threads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("TSEIG_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }();
+  return cached;
+}
+
+namespace rt {
+
+/// Monotonic pool counters (see ThreadPool::stats).  Values only grow.
+struct PoolStats {
+  /// OS threads ever created by the pool.  Stable across warm calls.
+  std::uint64_t threads_created = 0;
+  /// fork_join bodies executed (on pool workers and on the caller).
+  std::uint64_t jobs_executed = 0;
+  /// Times a worker parked (blocked waiting for work).
+  std::uint64_t parks = 0;
+  /// Times a parked worker resumed.
+  std::uint64_t unparks = 0;
+};
+
+/// Lazily-initialized persistent worker pool.  One instance per process;
+/// workers shut down cleanly when the process exits.
+class ThreadPool {
+public:
+  /// The process-wide pool.
+  static ThreadPool& instance();
+
+  /// Runs job(0), job(1), ..., job(njobs - 1) concurrently: job(0) on the
+  /// calling thread, the rest on pool workers.  Returns once every body has
+  /// finished.  The pool grows (once) so that all bodies of concurrently
+  /// active fork_join calls can run simultaneously -- required because
+  /// TaskGraph pins tasks to specific logical workers, so every borrowed
+  /// worker must actually be live.
+  ///
+  /// Must not be called from inside a parallel region; callers detect that
+  /// with in_parallel_region() and fall back to serial execution (the
+  /// nesting rule).
+  void fork_join(int njobs, const std::function<void(int)>& job);
+
+  /// Pool worker id of the calling thread, or -1 when the caller is not a
+  /// pool worker.
+  static int current_worker_id();
+
+  /// True when called from inside a pool worker.
+  static bool in_worker() { return current_worker_id() >= 0; }
+
+  /// True when the calling thread is already part of a parallel construct:
+  /// either a pool worker, or an external thread currently inside its own
+  /// fork_join (e.g. TaskGraph's logical worker 0, which runs on the
+  /// caller's thread).  parallel_for and TaskGraph::run consult this to run
+  /// serially instead of oversubscribing the machine.
+  static bool in_parallel_region();
+
+  /// Snapshot of the monotonic counters.
+  PoolStats stats() const;
+
+  /// Workers currently alive (grows lazily, never shrinks before exit).
+  int size() const;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+private:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl();  // lazily constructed guts
+
+  Impl* impl_ = nullptr;
+};
+
+/// Resolves a requested worker count: values > 0 are taken as-is, <= 0 means
+/// "use the library default" (TSEIG_NUM_THREADS / hardware concurrency).
+inline int resolve_num_workers(int requested) {
+  return requested > 0 ? requested : default_num_threads();
+}
+
+}  // namespace rt
+}  // namespace tseig

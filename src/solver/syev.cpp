@@ -5,6 +5,7 @@
 
 #include "common/flops.hpp"
 #include "common/timer.hpp"
+#include "runtime/thread_pool.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
 #include "onestage/sytrd.hpp"
@@ -84,7 +85,7 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
 
   timed(res.phases.reduction_seconds, res.phases.reduction_flops, [&] {
     onestage::sytrd(n, work.data(), work.ld(), d.data(), e.data(), tau.data(),
-                    std::min(opts.nb, n));
+                    opts.nb);
   });
 
   if (opts.job == jobz::values_only && opts.sel == range::all &&
@@ -250,6 +251,14 @@ SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
           "syev: fraction must be in (0, 1]");
   SyevOptions o = opts;
   if (o.nb <= 0) o.nb = auto_nb(n);
+  // Clamp once so a user-supplied nb > n never reaches the kernels (sytrd
+  // used to clamp locally while the ormtr calls received the raw value).
+  o.nb = std::min(o.nb, n);
+  // Single resolution point for the worker count: 0 or negative selects the
+  // library default (TSEIG_NUM_THREADS / hardware concurrency); everything
+  // downstream receives a concrete count and executes on the shared pool.
+  o.num_workers = rt::resolve_num_workers(o.num_workers);
+  if (o.stage2_workers > o.num_workers) o.stage2_workers = o.num_workers;
   if (o.algo == method::one_stage) return solve_one_stage(n, a, lda, o);
   return solve_two_stage(n, a, lda, o);
 }

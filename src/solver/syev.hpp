@@ -56,11 +56,15 @@ struct SyevOptions {
   /// Band width / tile size for the two-stage path; panel width one-stage.
   /// 0 selects automatically from the Section 7.1 trade-off: large enough
   /// for Level-3 stage-1 kernels, small enough that the O(n^2 nb) bulge
-  /// chase and its cache footprint stay cheap.
+  /// chase and its cache footprint stay cheap.  Values larger than n are
+  /// clamped once in syev().
   idx nb = 48;
   /// Diamond grouping (sweeps per WY block) in the Q2 application.
   idx ell = 32;
-  /// Workers for the task runtime (1 = fully sequential).
+  /// Workers for the task runtime: 1 = fully sequential, > 1 = that many
+  /// logical workers on the shared persistent pool, <= 0 = the library
+  /// default (TSEIG_NUM_THREADS or hardware concurrency).  syev() resolves
+  /// this once and passes a concrete count to every phase.
   int num_workers = 1;
   /// Worker subset for the memory-bound bulge chasing (0 = all).
   int stage2_workers = 0;

@@ -1,5 +1,7 @@
 #include "solver/sygv.hpp"
 
+#include <algorithm>
+
 #include "blas/blas3.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/potrf.hpp"
@@ -9,17 +11,19 @@ namespace tseig::solver {
 SyevResult sygv(idx n, const double* a, idx lda, const double* b, idx ldb,
                 const SyevOptions& opts) {
   require(n >= 1, "sygv: empty problem");
+  // Same clamping rule as syev(): a user nb > n must not reach the blocked
+  // factorization kernels.
+  const idx nb = std::min(opts.nb > 0 ? opts.nb : 64, n);
 
   // B = L L^T.
   Matrix l(n, n);
   lapack::lacpy(n, n, b, ldb, l.data(), l.ld());
-  lapack::potrf(n, l.data(), l.ld(), opts.nb > 0 ? opts.nb : 64);
+  lapack::potrf(n, l.data(), l.ld(), nb);
 
   // C = inv(L) A inv(L)^T, lower triangle.
   Matrix c(n, n);
   lapack::lacpy(n, n, a, lda, c.data(), c.ld());
-  lapack::sygst(n, c.data(), c.ld(), l.data(), l.ld(),
-                opts.nb > 0 ? opts.nb : 64);
+  lapack::sygst(n, c.data(), c.ld(), l.data(), l.ld(), nb);
 
   // Standard solve with the requested configuration.
   SyevResult res = syev(n, c.data(), c.ld(), opts);

@@ -5,6 +5,7 @@
 
 #include "lapack/householder.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig::twostage {
 namespace {
@@ -114,6 +115,7 @@ void apply_q2(op trans, const V2Factor& v2, double* e, idx lde, idx ncols,
   const idx nsweeps = v2.nsweeps();
   if (nsweeps == 0 || ncols == 0) return;
   ell = std::max<idx>(1, ell);
+  num_workers = rt::resolve_num_workers(num_workers);
 
   // Build every diamond's WY factor once (shared read-only by all tasks),
   // then sweep them over each column block of E (Figure 3c: communication-

@@ -34,7 +34,8 @@ void apply_q2_naive(op trans, const V2Factor& v2, double* e, idx lde,
 /// Blocked diamond implementation of E <- op(Q2) E.
 ///   ell        -- sweeps grouped per diamond (>= 1; 1 degenerates to a
 ///                 blocked form of the naive order).
-///   num_workers-- workers for the column-block parallel task graph.
+///   num_workers-- workers for the column-block parallel task graph
+///                 (<= 0 = library default, TSEIG_NUM_THREADS).
 ///   col_block  -- columns of E per task.
 void apply_q2(op trans, const V2Factor& v2, double* e, idx lde, idx ncols,
               idx ell = 32, int num_workers = 1, idx col_block = 256);

@@ -8,6 +8,7 @@
 #include "common/flops.hpp"
 #include "lapack/householder.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig::twostage {
 
@@ -172,11 +173,12 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
   V2Factor& v2 = result.v2;
   if (nb >= 2 && n >= 3) {
     const idx group = std::max<idx>(1, opts.group);
-    const bool parallel = opts.num_workers > 1;
+    const int num_workers = rt::resolve_num_workers(opts.num_workers);
+    const bool parallel = num_workers > 1;
     rt::TaskGraph graph;
     const int w2 = opts.stage2_workers > 0
-                       ? std::min(opts.stage2_workers, opts.num_workers)
-                       : opts.num_workers;
+                       ? std::min(opts.stage2_workers, num_workers)
+                       : num_workers;
 
     for (idx s = 0; s < v2.nsweeps(); ++s) {
       const idx nbl = v2.nblocks(s);
@@ -229,7 +231,7 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
     }
     if (parallel) {
       if (opts.trace != nullptr) graph.enable_tracing(true);
-      graph.run(opts.num_workers);
+      graph.run(num_workers);
       if (opts.trace != nullptr) *opts.trace = graph.trace();
     }
   }

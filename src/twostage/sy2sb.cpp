@@ -5,6 +5,7 @@
 
 #include "lapack/aux.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "twostage/tile_kernels.hpp"
 
 namespace tseig::twostage {
@@ -46,6 +47,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
   // nb >= n degenerates to a single tile: the "band" is the full lower
   // triangle and Q1 is the identity (no panels to reduce).
   require(n >= 1 && nb >= 1, "sy2sb: bad dimensions");
+  num_workers = rt::resolve_num_workers(num_workers);
 
   SymTileMatrix tiles(n, nb);
   tiles.from_dense(a, lda);
@@ -224,6 +226,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
 void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
               int num_workers, idx col_block) {
   if (q1.nt <= 1 || ncols == 0) return;
+  num_workers = rt::resolve_num_workers(num_workers);
   const idx nt = q1.nt;
   const idx nb = q1.nb;
   const bool parallel = num_workers > 1;

@@ -56,8 +56,9 @@ struct Sy2sbResult {
 /// to band form with bandwidth nb.
 ///
 /// `num_workers` == 1 runs the plain sequential tile loop; > 1 executes the
-/// task DAG on that many workers.  The contents of `a` are not modified
-/// (the reduction works on a tiled copy).
+/// task DAG on that many workers borrowed from the persistent pool; <= 0
+/// selects the library default (TSEIG_NUM_THREADS).  The contents of `a`
+/// are not modified (the reduction works on a tiled copy).
 Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb,
                   int num_workers = 1);
 

@@ -2,12 +2,18 @@
 // repeated runs and bit-identity against the sequential dataflow.  These are
 // the tests that shake out ordering bugs in the DAG dependences (the tile
 // reduction hazards and the bulge-chasing lattice).
+#include <cstdlib>
+
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 #include "solver/syev.hpp"
 #include "test_support.hpp"
 #include "twostage/q2_apply.hpp"
@@ -16,6 +22,14 @@
 
 namespace tseig {
 namespace {
+
+// Force real parallelism in parallel_for regardless of the host's core
+// count (the value is cached on first use, and each test source is its own
+// binary, so this does not leak into other test processes).
+const bool forced_threads = [] {
+  setenv("TSEIG_NUM_THREADS", "4", 1);
+  return true;
+}();
 
 TEST(ParallelStress, RepeatedFullSolvesAreBitIdentical) {
   const idx n = 72;
@@ -119,6 +133,72 @@ TEST(ParallelStress, RuntimeDiamondLattice) {
       }
     }
   }
+}
+
+TEST(ParallelStress, NestedParallelForInsideTaskGraphStaysWithinWorkers) {
+  ASSERT_TRUE(forced_threads);
+  const int workers = 3;
+  // Warm the pool beyond this test's demand so thread creation must be zero
+  // below.
+  rt::ThreadPool::instance().fork_join(8, [](int) {});
+  const auto warm = rt::ThreadPool::instance().stats();
+
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  std::atomic<int> off_thread{0};
+  rt::TaskGraph g;
+  for (int i = 0; i < 24; ++i) {
+    g.submit(
+        [&] {
+          const int cur = ++live;
+          int p = peak.load();
+          while (cur > p && !peak.compare_exchange_weak(p, cur)) {
+          }
+          // A BLAS-3 kernel inside a tile task: the nested parallel_for
+          // must run serially on this worker's thread.
+          const auto me = std::this_thread::get_id();
+          parallel_for(0, 100, 1, [&](idx) {
+            if (std::this_thread::get_id() != me) off_thread++;
+          });
+          --live;
+        },
+        {rt::wr(rt::region_key(20, static_cast<std::uint32_t>(i), 0))});
+  }
+  g.run(workers);
+
+  EXPECT_EQ(off_thread.load(), 0) << "nested parallel_for forked";
+  EXPECT_LE(peak.load(), workers) << "more live workers than num_workers";
+  const auto after = rt::ThreadPool::instance().stats();
+  EXPECT_EQ(after.threads_created, warm.threads_created)
+      << "nested parallelism grew the pool";
+}
+
+TEST(ParallelStress, NestedSolveInsideTaskGraphIsSafe) {
+  ASSERT_TRUE(forced_threads);
+  // Whole solver calls as graph tasks: every inner TaskGraph::run and
+  // parallel_for must detect nesting, so this neither deadlocks nor
+  // oversubscribes, and each task's result matches a top-level solve.
+  const idx n = 40;
+  Rng rng(23);
+  Matrix a = testing::random_symmetric(n, rng);
+  solver::SyevOptions opts;
+  opts.nb = 8;
+  opts.ell = 4;
+  opts.num_workers = 4;
+  const auto ref = solver::syev(n, a.data(), a.ld(), opts);
+
+  std::atomic<int> mismatches{0};
+  rt::TaskGraph g;
+  for (int i = 0; i < 6; ++i) {
+    g.submit(
+        [&] {
+          auto got = solver::syev(n, a.data(), a.ld(), opts);
+          if (got.eigenvalues != ref.eigenvalues) mismatches++;
+        },
+        {rt::wr(rt::region_key(21, static_cast<std::uint32_t>(i), 0))});
+  }
+  g.run(3);
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 TEST(ParallelStress, ApplyQ2ManyColumnBlockSizes) {

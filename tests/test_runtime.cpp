@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "runtime/task_graph.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig {
 namespace {
@@ -244,6 +245,60 @@ TEST(Runtime, ManyWorkersFewTasks) {
   g.submit([&] { count++; }, {wr(region_key(12, 0, 0))});
   g.run(16);
   EXPECT_EQ(count.load(), 1);
+}
+
+TEST(Runtime, RegionKeyDistinctTriplesMapToDistinctKeys) {
+  // Boundary values of every field, including coordinates >= 2^24 that the
+  // old XOR packing smeared into neighboring fields.
+  const std::uint32_t tags[] = {0, 1, 7, 255};
+  const std::uint32_t coords[] = {0, 1, (1u << 24) - 1, 1u << 24,
+                                  (1u << 28) - 1};
+  std::set<std::uint64_t> keys;
+  size_t count = 0;
+  for (std::uint32_t t : tags)
+    for (std::uint32_t i : coords)
+      for (std::uint32_t j : coords) {
+        keys.insert(region_key(t, i, j));
+        ++count;
+      }
+  EXPECT_EQ(keys.size(), count);
+}
+
+TEST(Runtime, RegionKeyFormerCollisionPairsAreDistinct) {
+  // Under the old packing (tag << 48 ^ i << 24 ^ j) each pair produced the
+  // same key, silently merging distinct regions and dropping dependence
+  // edges.
+  EXPECT_NE(region_key(1, 0, 0), region_key(0, 1u << 24, 0));
+  EXPECT_NE(region_key(0, 1, 0), region_key(0, 0, 1u << 24));
+  EXPECT_NE(region_key(3, (1u << 24) + 5, 9), region_key(3 ^ 1, 5, 9));
+}
+
+TEST(Runtime, RegionKeyOutOfRangeThrows) {
+  EXPECT_THROW(region_key(1u << rt::kRegionTagBits, 0, 0), invalid_argument);
+  EXPECT_THROW(region_key(0, 1u << rt::kRegionCoordBits, 0),
+               invalid_argument);
+  EXPECT_THROW(region_key(0, 0, 1u << rt::kRegionCoordBits),
+               invalid_argument);
+}
+
+TEST(Runtime, BackToBackRunsCreateNoThreadsWhenWarm) {
+  const int workers = 4;
+  auto run_graph = [&] {
+    TaskGraph g;
+    std::atomic<int> count{0};
+    for (int i = 0; i < 32; ++i)
+      g.submit([&] { count++; },
+               {wr(region_key(13, static_cast<std::uint32_t>(i), 0))});
+    g.run(workers);
+    EXPECT_EQ(count.load(), 32);
+  };
+  run_graph();  // warm-up: the pool grows to workers - 1 threads at most once
+  const auto warm = rt::ThreadPool::instance().stats();
+  for (int round = 0; round < 5; ++round) run_graph();
+  const auto after = rt::ThreadPool::instance().stats();
+  EXPECT_EQ(after.threads_created, warm.threads_created)
+      << "warm TaskGraph::run spawned OS threads";
+  EXPECT_GT(after.jobs_executed, warm.jobs_executed);
 }
 
 }  // namespace
