@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_grouping.dir/bench_ablation_grouping.cpp.o"
+  "CMakeFiles/bench_ablation_grouping.dir/bench_ablation_grouping.cpp.o.d"
+  "bench_ablation_grouping"
+  "bench_ablation_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_tilesize.dir/bench_fig5_tilesize.cpp.o"
+  "CMakeFiles/bench_fig5_tilesize.dir/bench_fig5_tilesize.cpp.o.d"
+  "bench_fig5_tilesize"
+  "bench_fig5_tilesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_tilesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_bulge.dir/bench_model_bulge.cpp.o"
+  "CMakeFiles/bench_model_bulge.dir/bench_model_bulge.cpp.o.d"
+  "bench_model_bulge"
+  "bench_model_bulge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_bulge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

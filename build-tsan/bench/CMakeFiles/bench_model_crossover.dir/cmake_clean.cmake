@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_crossover.dir/bench_model_crossover.cpp.o"
+  "CMakeFiles/bench_model_crossover.dir/bench_model_crossover.cpp.o.d"
+  "bench_model_crossover"
+  "bench_model_crossover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_crossover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_opmix.dir/bench_table2_opmix.cpp.o"
+  "CMakeFiles/bench_table2_opmix.dir/bench_table2_opmix.cpp.o.d"
+  "bench_table2_opmix"
+  "bench_table2_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

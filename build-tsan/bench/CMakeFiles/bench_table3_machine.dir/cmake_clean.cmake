@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_machine.dir/bench_table3_machine.cpp.o"
+  "CMakeFiles/bench_table3_machine.dir/bench_table3_machine.cpp.o.d"
+  "bench_table3_machine"
+  "bench_table3_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_schedule.dir/bench_trace_schedule.cpp.o"
+  "CMakeFiles/bench_trace_schedule.dir/bench_trace_schedule.cpp.o.d"
+  "bench_trace_schedule"
+  "bench_trace_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseig_bench_support.dir/support/bench_support.cpp.o"
+  "CMakeFiles/tseig_bench_support.dir/support/bench_support.cpp.o.d"
+  "libtseig_bench_support.a"
+  "libtseig_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseig_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pca.dir/pca.cpp.o"
+  "CMakeFiles/example_pca.dir/pca.cpp.o.d"
+  "example_pca"
+  "example_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

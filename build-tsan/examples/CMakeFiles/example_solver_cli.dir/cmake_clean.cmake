@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_solver_cli.dir/solver_cli.cpp.o"
+  "CMakeFiles/example_solver_cli.dir/solver_cli.cpp.o.d"
+  "example_solver_cli"
+  "example_solver_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_solver_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

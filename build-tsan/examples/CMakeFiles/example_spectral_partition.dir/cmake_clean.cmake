@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_spectral_partition.dir/spectral_partition.cpp.o"
+  "CMakeFiles/example_spectral_partition.dir/spectral_partition.cpp.o.d"
+  "example_spectral_partition"
+  "example_spectral_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_spectral_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tight_binding.dir/tight_binding.cpp.o"
+  "CMakeFiles/example_tight_binding.dir/tight_binding.cpp.o.d"
+  "example_tight_binding"
+  "example_tight_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tight_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_tight_binding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vibration_modes.dir/vibration_modes.cpp.o"
+  "CMakeFiles/example_vibration_modes.dir/vibration_modes.cpp.o.d"
+  "example_vibration_modes"
+  "example_vibration_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vibration_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_vibration_modes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/blas1.cpp" "src/CMakeFiles/tseig.dir/blas/blas1.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/blas/blas1.cpp.o.d"
+  "/root/repo/src/blas/blas2.cpp" "src/CMakeFiles/tseig.dir/blas/blas2.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/blas/blas2.cpp.o.d"
+  "/root/repo/src/blas/blas3.cpp" "src/CMakeFiles/tseig.dir/blas/blas3.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/blas/blas3.cpp.o.d"
+  "/root/repo/src/lapack/aux.cpp" "src/CMakeFiles/tseig.dir/lapack/aux.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/lapack/aux.cpp.o.d"
+  "/root/repo/src/lapack/generators.cpp" "src/CMakeFiles/tseig.dir/lapack/generators.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/lapack/generators.cpp.o.d"
+  "/root/repo/src/lapack/householder.cpp" "src/CMakeFiles/tseig.dir/lapack/householder.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/lapack/householder.cpp.o.d"
+  "/root/repo/src/lapack/potrf.cpp" "src/CMakeFiles/tseig.dir/lapack/potrf.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/lapack/potrf.cpp.o.d"
+  "/root/repo/src/lapack/steqr.cpp" "src/CMakeFiles/tseig.dir/lapack/steqr.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/lapack/steqr.cpp.o.d"
+  "/root/repo/src/onestage/sytrd.cpp" "src/CMakeFiles/tseig.dir/onestage/sytrd.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/onestage/sytrd.cpp.o.d"
+  "/root/repo/src/runtime/task_graph.cpp" "src/CMakeFiles/tseig.dir/runtime/task_graph.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/runtime/task_graph.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/tseig.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/runtime/trace_io.cpp" "src/CMakeFiles/tseig.dir/runtime/trace_io.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/runtime/trace_io.cpp.o.d"
+  "/root/repo/src/solver/syev.cpp" "src/CMakeFiles/tseig.dir/solver/syev.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/solver/syev.cpp.o.d"
+  "/root/repo/src/solver/sygv.cpp" "src/CMakeFiles/tseig.dir/solver/sygv.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/solver/sygv.cpp.o.d"
+  "/root/repo/src/tridiag/bisect.cpp" "src/CMakeFiles/tseig.dir/tridiag/bisect.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/tridiag/bisect.cpp.o.d"
+  "/root/repo/src/tridiag/stedc.cpp" "src/CMakeFiles/tseig.dir/tridiag/stedc.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/tridiag/stedc.cpp.o.d"
+  "/root/repo/src/twostage/q2_apply.cpp" "src/CMakeFiles/tseig.dir/twostage/q2_apply.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/q2_apply.cpp.o.d"
+  "/root/repo/src/twostage/sb2st.cpp" "src/CMakeFiles/tseig.dir/twostage/sb2st.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/sb2st.cpp.o.d"
+  "/root/repo/src/twostage/sbtrd_rot.cpp" "src/CMakeFiles/tseig.dir/twostage/sbtrd_rot.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/sbtrd_rot.cpp.o.d"
+  "/root/repo/src/twostage/sy2sb.cpp" "src/CMakeFiles/tseig.dir/twostage/sy2sb.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/sy2sb.cpp.o.d"
+  "/root/repo/src/twostage/tile_kernels.cpp" "src/CMakeFiles/tseig.dir/twostage/tile_kernels.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/tile_kernels.cpp.o.d"
+  "/root/repo/src/twostage/tile_matrix.cpp" "src/CMakeFiles/tseig.dir/twostage/tile_matrix.cpp.o" "gcc" "src/CMakeFiles/tseig.dir/twostage/tile_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_aux.dir/test_aux.cpp.o"
+  "CMakeFiles/test_aux.dir/test_aux.cpp.o.d"
+  "test_aux"
+  "test_aux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_aux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bisect.dir/test_bisect.cpp.o"
+  "CMakeFiles/test_bisect.dir/test_bisect.cpp.o.d"
+  "test_bisect"
+  "test_bisect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bisect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas2.dir/test_blas2.cpp.o"
+  "CMakeFiles/test_blas2.dir/test_blas2.cpp.o.d"
+  "test_blas2"
+  "test_blas2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

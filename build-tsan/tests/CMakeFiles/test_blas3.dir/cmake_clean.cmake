@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas3.dir/test_blas3.cpp.o"
+  "CMakeFiles/test_blas3.dir/test_blas3.cpp.o.d"
+  "test_blas3"
+  "test_blas3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_householder.dir/test_householder.cpp.o"
+  "CMakeFiles/test_householder.dir/test_householder.cpp.o.d"
+  "test_householder"
+  "test_householder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_householder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_stress.dir/test_parallel_stress.cpp.o"
+  "CMakeFiles/test_parallel_stress.dir/test_parallel_stress.cpp.o.d"
+  "test_parallel_stress"
+  "test_parallel_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

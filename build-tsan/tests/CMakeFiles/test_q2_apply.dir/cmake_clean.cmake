@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_q2_apply.dir/test_q2_apply.cpp.o"
+  "CMakeFiles/test_q2_apply.dir/test_q2_apply.cpp.o.d"
+  "test_q2_apply"
+  "test_q2_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_q2_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

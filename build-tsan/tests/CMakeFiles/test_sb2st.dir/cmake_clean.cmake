@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sb2st.dir/test_sb2st.cpp.o"
+  "CMakeFiles/test_sb2st.dir/test_sb2st.cpp.o.d"
+  "test_sb2st"
+  "test_sb2st.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sb2st.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

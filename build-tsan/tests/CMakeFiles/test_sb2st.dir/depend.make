@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sb2st.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sbtrd_rot.dir/test_sbtrd_rot.cpp.o"
+  "CMakeFiles/test_sbtrd_rot.dir/test_sbtrd_rot.cpp.o.d"
+  "test_sbtrd_rot"
+  "test_sbtrd_rot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sbtrd_rot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

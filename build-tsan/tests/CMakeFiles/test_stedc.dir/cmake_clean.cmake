@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stedc.dir/test_stedc.cpp.o"
+  "CMakeFiles/test_stedc.dir/test_stedc.cpp.o.d"
+  "test_stedc"
+  "test_stedc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stedc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steqr.dir/test_steqr.cpp.o"
+  "CMakeFiles/test_steqr.dir/test_steqr.cpp.o.d"
+  "test_steqr"
+  "test_steqr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steqr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

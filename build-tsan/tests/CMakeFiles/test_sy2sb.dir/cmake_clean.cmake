@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sy2sb.dir/test_sy2sb.cpp.o"
+  "CMakeFiles/test_sy2sb.dir/test_sy2sb.cpp.o.d"
+  "test_sy2sb"
+  "test_sy2sb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sy2sb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syev.dir/test_syev.cpp.o"
+  "CMakeFiles/test_syev.dir/test_syev.cpp.o.d"
+  "test_syev"
+  "test_syev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_syev_range.dir/test_syev_range.cpp.o"
+  "CMakeFiles/test_syev_range.dir/test_syev_range.cpp.o.d"
+  "test_syev_range"
+  "test_syev_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_syev_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sygv.dir/test_sygv.cpp.o"
+  "CMakeFiles/test_sygv.dir/test_sygv.cpp.o.d"
+  "test_sygv"
+  "test_sygv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sygv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

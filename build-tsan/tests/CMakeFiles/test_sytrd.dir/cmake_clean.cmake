@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sytrd.dir/test_sytrd.cpp.o"
+  "CMakeFiles/test_sytrd.dir/test_sytrd.cpp.o.d"
+  "test_sytrd"
+  "test_sytrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sytrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

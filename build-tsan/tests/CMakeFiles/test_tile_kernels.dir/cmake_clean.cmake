@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tile_kernels.dir/test_tile_kernels.cpp.o"
+  "CMakeFiles/test_tile_kernels.dir/test_tile_kernels.cpp.o.d"
+  "test_tile_kernels"
+  "test_tile_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tile_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tseig_test_support.dir/support/test_support.cpp.o"
+  "CMakeFiles/tseig_test_support.dir/support/test_support.cpp.o.d"
+  "libtseig_test_support.a"
+  "libtseig_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tseig_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
