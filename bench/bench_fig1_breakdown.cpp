@@ -52,6 +52,7 @@ int main(int argc, char** argv) {
     opts.algo = solver::method::one_stage;
     opts.solver = solver::eig_solver::dc;
     opts.nb = nb;
+    opts.num_workers = workers;  // parallel D&C solve phase
     breakdown_row(n, solver::syev(n, a.data(), a.ld(), opts), false);
   }
 

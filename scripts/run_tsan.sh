@@ -1,8 +1,8 @@
 #!/bin/sh
 # Builds the library with ThreadSanitizer (TSEIG_SANITIZE=thread) and runs
 # the threading-sensitive tests: the task runtime, the shared worker pool,
-# the parallel stress suite and the two-stage pipeline stages that execute
-# on the runtime.
+# the parallel stress suite, the parallel divide-and-conquer eigensolver and
+# the two-stage pipeline stages that execute on the runtime.
 #
 # Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
 #        TSEIG_SANITIZE=address scripts/run_tsan.sh build-asan  # ASan run
@@ -17,6 +17,6 @@ cmake -B "$BUILD" -S . \
   -DTSEIG_NATIVE=OFF
 cmake --build "$BUILD" -j \
   --target test_runtime test_thread_pool test_parallel_stress \
-           test_sy2sb test_sb2st test_q2_apply
+           test_stedc_parallel test_sy2sb test_sb2st test_q2_apply
 ctest --test-dir "$BUILD" --output-on-failure \
-  -R '^test_(runtime|thread_pool|parallel_stress|sy2sb|sb2st|q2_apply)$'
+  -R '^test_(runtime|thread_pool|parallel_stress|stedc_parallel|sy2sb|sb2st|q2_apply)$'

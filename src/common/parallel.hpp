@@ -20,20 +20,19 @@
 
 namespace tseig {
 
-/// Runs fn(i) for i in [begin, end) potentially in parallel.  Chunks of at
-/// least `grain` iterations are assigned to at most default_num_threads()
-/// pool workers (non-positive grain is treated as 1).  Falls back to a
-/// serial loop when the range is small, only one worker is configured, or
-/// the caller is itself a pool worker (nested parallelism).  fn must be safe
-/// to invoke concurrently on distinct indices.
-inline void parallel_for(idx begin, idx end, idx grain,
+/// Runs fn(i) for i in [begin, end) on at most `num_workers` pool workers.
+/// Chunks of at least `grain` iterations are assigned per worker
+/// (non-positive grain is treated as 1).  Falls back to a serial loop when
+/// the range is small, only one worker is requested, or the caller is itself
+/// a pool worker (nested parallelism).  fn must be safe to invoke
+/// concurrently on distinct indices.
+inline void parallel_for(int num_workers, idx begin, idx end, idx grain,
                          const std::function<void(idx)>& fn) {
   const idx n = end - begin;
   if (n <= 0) return;
   if (grain <= 0) grain = 1;
   const idx max_chunks = (n + grain - 1) / grain;
-  int nthreads =
-      static_cast<int>(std::min<idx>(default_num_threads(), max_chunks));
+  int nthreads = static_cast<int>(std::min<idx>(num_workers, max_chunks));
   if (rt::ThreadPool::in_parallel_region()) nthreads = 1;
   if (nthreads <= 1) {
     for (idx i = begin; i < end; ++i) fn(i);
@@ -45,6 +44,13 @@ inline void parallel_for(idx begin, idx end, idx grain,
     const idx hi = std::min(end, lo + chunk);
     for (idx i = lo; i < hi; ++i) fn(i);
   });
+}
+
+/// Worker count defaulted to the library-wide setting (TSEIG_NUM_THREADS or
+/// the hardware concurrency).
+inline void parallel_for(idx begin, idx end, idx grain,
+                         const std::function<void(idx)>& fn) {
+  parallel_for(default_num_threads(), begin, end, grain, fn);
 }
 
 }  // namespace tseig

@@ -126,7 +126,9 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
       timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
         lapack::steqr(n, d.data(), e.data(), q.data(), q.ld(), n);
       });
-      res.eigenvalues = d;
+      // SyevResult invariant: with vectors, eigenvalues match z's columns
+      // (the m smallest), on every solver path.
+      res.eigenvalues.assign(d.begin(), d.begin() + m);
       res.z.reshape(n, m);
       lapack::lacpy(n, m, q.data(), q.ld(), res.z.data(), res.z.ld());
       break;
@@ -134,10 +136,12 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
     case eig_solver::dc: {
       Matrix evec(n, n);
       timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
-        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(),
-                       opts.dc_crossover);
+        tridiag::StedcOptions sopts;
+        sopts.crossover = opts.dc_crossover;
+        sopts.num_workers = opts.num_workers;
+        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(), sopts);
       });
-      res.eigenvalues = d;
+      res.eigenvalues.assign(d.begin(), d.begin() + m);
       res.z.reshape(n, m);
       lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
       timed(res.phases.update_seconds, res.phases.update_flops, [&] {
@@ -156,7 +160,10 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
                            const SyevOptions& opts) {
   SyevResult res;
   const idx m = subset_size(n, opts);
-  const idx nb = std::min(opts.nb, std::max<idx>(2, n - 1));
+  // Band width can never exceed n - 1 (the previous max(2, n-1) clamp let
+  // nb = 2 through for n <= 2, feeding sy2sb a band wider than the matrix);
+  // n == 1 degenerates to the 1x1 "band" nb = 1 that sy2sb accepts.
+  const idx nb = std::min(opts.nb, std::max<idx>(1, n - 1));
 
   twostage::Sy2sbResult s1;
   timed(res.phases.stage1_seconds, res.phases.reduction_flops,
@@ -212,7 +219,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
         lapack::laset(n, n, 0.0, 1.0, evec.data(), evec.ld());
         lapack::steqr(n, d.data(), e.data(), evec.data(), evec.ld(), n);
       });
-      res.eigenvalues = d;
+      // SyevResult invariant: eigenvalues match z's m columns on every path.
+      res.eigenvalues.assign(d.begin(), d.begin() + m);
       res.z.reshape(n, m);
       lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
       break;
@@ -220,10 +228,12 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
     case eig_solver::dc: {
       Matrix evec(n, n);
       timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
-        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(),
-                       opts.dc_crossover);
+        tridiag::StedcOptions sopts;
+        sopts.crossover = opts.dc_crossover;
+        sopts.num_workers = opts.num_workers;
+        tridiag::stedc(n, d.data(), e.data(), evec.data(), evec.ld(), sopts);
       });
-      res.eigenvalues = d;
+      res.eigenvalues.assign(d.begin(), d.begin() + m);
       res.z.reshape(n, m);
       lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
       break;

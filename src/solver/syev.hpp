@@ -64,7 +64,9 @@ struct SyevOptions {
   /// Workers for the task runtime: 1 = fully sequential, > 1 = that many
   /// logical workers on the shared persistent pool, <= 0 = the library
   /// default (TSEIG_NUM_THREADS or hardware concurrency).  syev() resolves
-  /// this once and passes a concrete count to every phase.
+  /// this once and passes a concrete count to every phase, including the
+  /// D&C tridiagonal solve (leaf fan-out + parallel merges, see
+  /// tridiag::StedcOptions).
   int num_workers = 1;
   /// Worker subset for the memory-bound bulge chasing (0 = all).
   int stage2_workers = 0;
@@ -90,9 +92,16 @@ struct PhaseBreakdown {
 };
 
 /// Result of a solve.
+///
+/// Invariant: when vectors are requested, `eigenvalues.size() == z.cols()`
+/// and eigenvalue i corresponds to column i of z, on *every* solver path
+/// (qr, dc and bisect used to disagree: the full-range qr/dc paths returned
+/// all n eigenvalues next to m eigenvector columns).  With values_only the
+/// full spectrum selection returns all n eigenvalues; by_index/by_value
+/// return exactly the selected ones.
 struct SyevResult {
-  /// Eigenvalues ascending.  All n for solver qr/dc; exactly the computed
-  /// subset (m = ceil(f n) smallest) for solver bisect with f < 1.
+  /// Eigenvalues ascending: the m = ceil(f n) smallest when vectors are
+  /// requested, the selected set otherwise (see the invariant above).
   std::vector<double> eigenvalues;
   /// Eigenvectors as columns (n-by-m, m = ceil(f n)); empty for values_only.
   Matrix z;

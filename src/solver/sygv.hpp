@@ -14,8 +14,9 @@ namespace tseig::solver {
 
 /// Solves A x = lambda B x.  The lower triangles of `a` and `b` are
 /// referenced; neither matrix is modified.  Throws convergence_error if B is
-/// not positive definite.  Result semantics match syev, except the
-/// eigenvector columns satisfy X^T B X = I.
+/// not positive definite.  Result semantics match syev -- including the
+/// SyevResult invariant that eigenvalues and eigenvector columns agree in
+/// count on every path -- except the columns satisfy X^T B X = I.
 SyevResult sygv(idx n, const double* a, idx lda, const double* b, idx ldb,
                 const SyevOptions& opts);
 

@@ -3,13 +3,17 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
 #include "blas/blas1.hpp"
 #include "blas/blas3.hpp"
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace tseig::tridiag {
 namespace {
@@ -17,6 +21,55 @@ namespace {
 thread_local StedcStats g_stats;
 
 constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+// Region-key tag for the column-partitioned merge GEMM (tags 1-4, 7, 8 are
+// taken by the two-stage pipeline).
+constexpr std::uint32_t kTagDcGemm = 9;
+
+// Column-block width of the parallel back-multiplication.  Wide enough that
+// each task is a real Level-3 call, narrow enough to load-balance the merges
+// near the root.
+constexpr idx kGemmColBlock = 64;
+
+// Secular roots / Gu-Eisenstat rows per parallel_for chunk (each iteration
+// is O(k) work).
+constexpr idx kSecularGrain = 8;
+
+/// Shared state of one stedc() call: worker budget, thread-safe stats
+/// aggregation, and the optional execution trace.  Merge tasks running on
+/// pool workers accumulate a private StedcStats and flush it exactly once
+/// through add_stats(); the previous thread_local accumulator lost every
+/// count recorded on a borrowed pool thread.
+struct Ctx {
+  int workers = 1;
+  std::vector<rt::TraceEvent>* trace = nullptr;
+  WallTimer clock;  // one time base for all trace events of this call
+
+  void add_stats(const StedcStats& s) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.merges += s.merges;
+    stats_.total_size += s.total_size;
+    stats_.deflated += s.deflated;
+    stats_.secular_solves += s.secular_solves;
+  }
+  StedcStats stats() const { return stats_; }
+
+  /// Records one event on the shared time base (caller-thread work).
+  void emit(const char* label, double t0, double t1) {
+    if (trace != nullptr) trace->push_back({label, 0, t0, t1});
+  }
+  /// Appends a TaskGraph trace, shifting its per-run clock onto ours.
+  void splice(const std::vector<rt::TraceEvent>& events, double offset) {
+    if (trace == nullptr) return;
+    for (const rt::TraceEvent& ev : events)
+      trace->push_back(
+          {ev.label, ev.worker, ev.start_seconds + offset, ev.end_seconds + offset});
+  }
+
+private:
+  std::mutex mu_;
+  StedcStats stats_;
+};
 
 /// Root of the secular equation f(x) = 1 + sum_i zsq[i]/(delta[i] - x) in
 /// interval j, represented as delta[anchor] + tau for accuracy.
@@ -43,10 +96,10 @@ double secular_g(idx k, const double* delta, const double* zsq, idx a,
 
 /// Bisection-safeguarded Newton iteration for the root in interval j:
 /// (delta[j], delta[j+1]) for j < k-1, (delta[k-1], delta[k-1] + ||z||^2]
-/// for j = k-1.  f is strictly increasing on each interval.
+/// for j = k-1.  f is strictly increasing on each interval.  Pure function
+/// of its arguments -- the merge loop calls it concurrently for distinct j.
 SecularRoot solve_secular(idx k, const double* delta, const double* zsq,
                           idx j) {
-  ++g_stats.secular_solves;
   if (k == 1) return {0, zsq[0]};
 
   idx a;
@@ -95,17 +148,55 @@ SecularRoot solve_secular(idx k, const double* delta, const double* zsq,
   return {a, tau};
 }
 
+/// G = Qk * U back-multiplication, column-partitioned over the shared pool
+/// with the static block -> worker ownership of apply_q2 (Figure 3c).  Falls
+/// back to one plain GEMM when serial, nested in a pool worker, or too small
+/// to split.
+void gemm_cols(idx rows, idx k, const Matrix& qk, const Matrix& u, Matrix& g,
+               int nw, Ctx& ctx) {
+  if (nw <= 1 || rt::ThreadPool::in_parallel_region() ||
+      k < 2 * kGemmColBlock) {
+    blas::gemm(op::none, op::none, rows, k, k, 1.0, qk.data(), qk.ld(),
+               u.data(), u.ld(), 0.0, g.data(), g.ld());
+    return;
+  }
+  rt::TaskGraph graph;
+  graph.enable_tracing(ctx.trace != nullptr);
+  int hint = 0;
+  for (idx c0 = 0; c0 < k; c0 += kGemmColBlock) {
+    const idx nc = std::min(kGemmColBlock, k - c0);
+    rt::TaskGraph::Options opts;
+    opts.worker_hint = hint++ % nw;
+    opts.label = "dc_gemm";
+    graph.submit(
+        [&qk, &u, &g, rows, k, c0, nc] {
+          blas::gemm(op::none, op::none, rows, nc, k, 1.0, qk.data(), qk.ld(),
+                     u.col(c0), u.ld(), 0.0, g.col(c0), g.ld());
+        },
+        {rt::wr(rt::region_key(kTagDcGemm, static_cast<std::uint32_t>(c0), 0))},
+        opts);
+  }
+  const double t0 = ctx.clock.seconds();
+  graph.run(nw);
+  ctx.splice(graph.trace(), t0);
+}
+
 /// Rank-one merge: eigen-decomposes diag(dd) + z z^T where the current
 /// eigenbasis columns of `q` are given through `cols` (already sorted so
 /// that dd is ascending).  Outputs eigenvalues (ascending) in `dout` and the
-/// updated basis in `qout` (n-by-kall, rows = q.rows()).
+/// updated basis in `qout` (n-by-kall, rows = q.rows()).  With nw > 1 the
+/// independent secular roots, Gu-Eisenstat rows and eigenvector columns run
+/// under parallel_for and the back-multiplication as a column-partitioned
+/// GEMM; the operations per index are identical to the serial path, so the
+/// results agree to the last bit.
 void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
                     Matrix& q, std::vector<idx>& cols, double* dout,
-                    Matrix& qout) {
+                    Matrix& qout, int nw, Ctx& ctx) {
   const idx kall = static_cast<idx>(dd.size());
   const idx rows = q.rows();
-  ++g_stats.merges;
-  g_stats.total_size += kall;
+  StedcStats local;
+  local.merges = 1;
+  local.total_size = kall;
 
   double zsum = 0.0;
   double dmax = 0.0;
@@ -118,7 +209,8 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
   const double tolz =
       8.0 * kEps * std::max(scale, 1e-300) / std::max(std::sqrt(zsum), 1e-150);
 
-  // --- Deflation (xLAED2 role). ---
+  // --- Deflation (xLAED2 role).  Inherently sequential scan: each decision
+  // depends on the previous kept entry, so it stays on one thread. ---
   std::vector<idx> kept;          // indices into dd/zz/cols
   std::vector<idx> defl;          // ditto
   std::vector<double> defl_val;
@@ -156,7 +248,8 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
     kept.push_back(i);
   }
   const idx k = static_cast<idx>(kept.size());
-  g_stats.deflated += kall - k;
+  local.deflated = kall - k;
+  local.secular_solves = k;
 
   // --- Secular equation + Gu-Eisenstat vectors (xLAED3 role). ---
   std::vector<double> lam_val;
@@ -169,9 +262,12 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
       const double zj = zz[kept[static_cast<size_t>(j)]];
       zsq[static_cast<size_t>(j)] = zj * zj;
     }
+    // Every root is an independent Newton iteration on read-only data.
     std::vector<SecularRoot> roots(static_cast<size_t>(k));
-    for (idx j = 0; j < k; ++j)
-      roots[static_cast<size_t>(j)] = solve_secular(k, delta.data(), zsq.data(), j);
+    parallel_for(nw, 0, k, kSecularGrain, [&](idx j) {
+      roots[static_cast<size_t>(j)] =
+          solve_secular(k, delta.data(), zsq.data(), j);
+    });
     lam_val.resize(static_cast<size_t>(k));
     for (idx j = 0; j < k; ++j)
       lam_val[static_cast<size_t>(j)] =
@@ -187,7 +283,7 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
     // Gu-Eisenstat recomputed z: zhat_i^2 = (lam_i - delta_i) *
     //   prod_{j != i} (lam_j - delta_i) / (delta_j - delta_i).
     std::vector<double> zhat(static_cast<size_t>(k));
-    for (idx i = 0; i < k; ++i) {
+    parallel_for(nw, 0, k, kSecularGrain, [&](idx i) {
       double prod = lam_minus_delta(i, i);
       for (idx j = 0; j < k; ++j) {
         if (j == i) continue;
@@ -197,11 +293,12 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
       const double zi = zz[kept[static_cast<size_t>(i)]];
       zhat[static_cast<size_t>(i)] =
           std::copysign(std::sqrt(std::max(prod, 0.0)), zi);
-    }
+    });
 
-    // Eigenvectors of the rank-one system, then back-multiply.
+    // Eigenvectors of the rank-one system (one independent column each),
+    // then the back-multiply.
     Matrix u(k, k);
-    for (idx j = 0; j < k; ++j) {
+    parallel_for(nw, 0, k, kSecularGrain, [&](idx j) {
       double nrm = 0.0;
       for (idx i = 0; i < k; ++i) {
         const double v = zhat[static_cast<size_t>(i)] / (-lam_minus_delta(j, i));
@@ -210,15 +307,14 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
       }
       nrm = 1.0 / std::sqrt(nrm);
       for (idx i = 0; i < k; ++i) u(i, j) *= nrm;
-    }
+    });
     // G = Q(:, kept) * U.
     Matrix qk(rows, k);
     for (idx j = 0; j < k; ++j)
       lapack::lacpy(rows, 1, q.col(cols[static_cast<size_t>(kept[static_cast<size_t>(j)])]),
                     q.ld(), qk.col(j), qk.ld());
     g.reshape(rows, k);
-    blas::gemm(op::none, op::none, rows, k, k, 1.0, qk.data(), qk.ld(),
-               u.data(), u.ld(), 0.0, g.data(), g.ld());
+    gemm_cols(rows, k, qk, u, g, nw, ctx);
   }
 
   // --- Assemble ascending eigenvalues and matching columns. ---
@@ -246,34 +342,72 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
             : q.col(cols[static_cast<size_t>(defl[static_cast<size_t>(en.index)])]);
     lapack::lacpy(rows, 1, src, rows, qout.col(j), qout.ld());
   }
+  ctx.add_stats(local);
 }
 
-/// Recursive D&C on (d, e) of size n; q receives the n-by-n eigenvectors.
-void stedc_rec(idx n, double* d, double* e, Matrix& q, idx crossover) {
-  if (n <= crossover) {
-    q.reshape(n, n);
-    lapack::laset(n, n, 0.0, 1.0, q.data(), q.ld());
-    lapack::steqr(n, d, e, q.data(), q.ld(), n);
-    return;
-  }
-  const idx m = n / 2;
-  const double beta = e[m - 1];
-  const double sgn = beta >= 0.0 ? 1.0 : -1.0;
-  const double absb = std::fabs(beta);
-  d[m - 1] -= absb;
-  d[m] -= absb;
+/// One node of the flattened D&C recursion: the subproblem (d, e)[off ..
+/// off+n) and, once solved, its eigenbasis `q`.  The rank-one tears (d[m-1],
+/// d[m] -= |beta|) are applied while the tree is built, before any node is
+/// solved, so sibling subtrees touch disjoint slices of d and e.
+struct Node {
+  idx off = 0;
+  idx n = 0;
+  idx left = -1;
+  idx right = -1;
+  int depth = 0;
+  double absb = 0.0;  // |beta| of this node's rank-one correction
+  double sgn = 1.0;   // sign(beta)
+  Matrix q;           // eigenbasis once solved; freed after the parent merge
+};
 
-  Matrix q1, q2;
-  stedc_rec(m, d, e, q1, crossover);
-  stedc_rec(n - m, d + m, e + m, q2, crossover);
+idx build_tree(std::vector<Node>& nodes, idx off, idx n, int depth, double* d,
+               double* e, idx crossover) {
+  const idx id = static_cast<idx>(nodes.size());
+  nodes.push_back({});
+  nodes[static_cast<size_t>(id)].off = off;
+  nodes[static_cast<size_t>(id)].n = n;
+  nodes[static_cast<size_t>(id)].depth = depth;
+  if (n <= crossover) return id;
+
+  const idx m = n / 2;
+  const double beta = e[off + m - 1];
+  const double absb = std::fabs(beta);
+  d[off + m - 1] -= absb;
+  d[off + m] -= absb;
+  const idx l = build_tree(nodes, off, m, depth + 1, d, e, crossover);
+  const idx r = build_tree(nodes, off + m, n - m, depth + 1, d, e, crossover);
+  Node& nd = nodes[static_cast<size_t>(id)];  // re-fetch: children reallocate
+  nd.absb = absb;
+  nd.sgn = beta >= 0.0 ? 1.0 : -1.0;
+  nd.left = l;
+  nd.right = r;
+  return id;
+}
+
+/// Leaf solve: QL/QR iteration on the subproblem slice.
+void solve_leaf(Node& nd, double* d, double* e) {
+  const idx n = nd.n;
+  nd.q.reshape(n, n);
+  lapack::laset(n, n, 0.0, 1.0, nd.q.data(), nd.q.ld());
+  lapack::steqr(n, d + nd.off, e + nd.off, nd.q.data(), nd.q.ld(), n);
+}
+
+/// Merge: combines the children's eigensystems through the rank-one
+/// correction, writing eigenvalues into d[off..off+n) and the basis into
+/// nd.q.  Children bases are released afterwards.
+void merge_node(Node& nd, Node& lch, Node& rch, double* d, int nw, Ctx& ctx) {
+  const idx n = nd.n;
+  const idx m = lch.n;
+  Matrix& q1 = lch.q;
+  Matrix& q2 = rch.q;
 
   // z = sqrt(rho) * [last row of Q1 ; sgn * first row of Q2].
   std::vector<double> dd(static_cast<size_t>(n)), zz(static_cast<size_t>(n));
-  const double srho = std::sqrt(absb);
+  const double srho = std::sqrt(nd.absb);
   for (idx j = 0; j < m; ++j) zz[static_cast<size_t>(j)] = srho * q1(m - 1, j);
   for (idx j = 0; j < n - m; ++j)
-    zz[static_cast<size_t>(m + j)] = srho * sgn * q2(0, j);
-  for (idx i = 0; i < n; ++i) dd[static_cast<size_t>(i)] = d[i];
+    zz[static_cast<size_t>(m + j)] = srho * nd.sgn * q2(0, j);
+  for (idx i = 0; i < n; ++i) dd[static_cast<size_t>(i)] = d[nd.off + i];
 
   // Assemble the block-diagonal basis and sort by dd.
   Matrix qblk(n, n);
@@ -282,6 +416,8 @@ void stedc_rec(idx n, double* d, double* e, Matrix& q, idx crossover) {
   for (idx j = 0; j < n - m; ++j)
     lapack::lacpy(n - m, 1, q2.col(j), q2.ld(), qblk.col(m + j) + m,
                   qblk.ld());
+  q1 = Matrix();
+  q2 = Matrix();
 
   std::vector<idx> order(static_cast<size_t>(n));
   std::iota(order.begin(), order.end(), idx{0});
@@ -296,28 +432,115 @@ void stedc_rec(idx n, double* d, double* e, Matrix& q, idx crossover) {
     cols[static_cast<size_t>(i)] = order[static_cast<size_t>(i)];
   }
 
-  if (absb == 0.0) {
+  if (nd.absb == 0.0) {
     // No coupling: just interleave the two sorted spectra.
-    q.reshape(n, n);
+    nd.q.reshape(n, n);
     for (idx j = 0; j < n; ++j) {
-      d[j] = dsort[static_cast<size_t>(j)];
+      d[nd.off + j] = dsort[static_cast<size_t>(j)];
       lapack::lacpy(n, 1, qblk.col(cols[static_cast<size_t>(j)]), qblk.ld(),
-                    q.col(j), q.ld());
+                    nd.q.col(j), nd.q.ld());
     }
     return;
   }
-  rank_one_merge(dsort, zsort, qblk, cols, d, q);
+  rank_one_merge(dsort, zsort, qblk, cols, d + nd.off, nd.q, nw, ctx);
 }
 
 }  // namespace
 
-void stedc(idx n, double* d, double* e, double* z, idx ldz, idx crossover) {
+void stedc(idx n, double* d, double* e, double* z, idx ldz,
+           const StedcOptions& opts) {
   require(n >= 0, "stedc: negative n");
   g_stats = StedcStats{};
   if (n == 0) return;
-  Matrix q;
-  stedc_rec(n, d, e, q, std::max<idx>(crossover, 4));
+
+  Ctx ctx;
+  ctx.workers = rt::resolve_num_workers(opts.num_workers);
+  // Nested call (stedc itself running inside a pool worker): the outer
+  // construct owns the machine, run serially.
+  if (rt::ThreadPool::in_parallel_region()) ctx.workers = 1;
+  ctx.trace = opts.trace;
+
+  std::vector<Node> nodes;
+  build_tree(nodes, 0, n, 0, d, e, std::max<idx>(opts.crossover, 4));
+
+  int max_depth = 0;
+  for (const Node& nd : nodes) max_depth = std::max(max_depth, nd.depth);
+  std::vector<std::vector<idx>> by_depth(static_cast<size_t>(max_depth) + 1);
+  for (idx id = 0; id < static_cast<idx>(nodes.size()); ++id)
+    by_depth[static_cast<size_t>(nodes[static_cast<size_t>(id)].depth)]
+        .push_back(id);
+
+  // Level-synchronous bottom-up walk.  Within a level every node is
+  // independent (disjoint d/e slices, own q): leaves always fan out across
+  // workers; merge levels fan out while they are wide enough, and the last
+  // few large merges run on the calling thread with intra-merge parallelism
+  // (secular roots, Gu-Eisenstat vectors, column-partitioned GEMM) instead.
+  for (int depth = max_depth; depth >= 0; --depth) {
+    std::vector<idx> leaves, merges;
+    for (idx id : by_depth[static_cast<size_t>(depth)]) {
+      (nodes[static_cast<size_t>(id)].left < 0 ? leaves : merges).push_back(id);
+    }
+    const bool leaves_across = ctx.workers > 1 && leaves.size() > 1;
+    const bool merges_across =
+        ctx.workers > 1 && merges.size() >= static_cast<size_t>(ctx.workers);
+
+    if (leaves_across || merges_across) {
+      rt::TaskGraph graph;
+      graph.enable_tracing(ctx.trace != nullptr);
+      auto submit = [&](idx id, const char* label, bool is_leaf) {
+        Node* nd = &nodes[static_cast<size_t>(id)];
+        rt::TaskGraph::Options topts;
+        // Larger subproblems first among ready tasks.
+        topts.priority = static_cast<int>(std::min<idx>(nd->n, 1 << 30));
+        topts.label = label;
+        Node* lch = is_leaf ? nullptr : &nodes[static_cast<size_t>(nd->left)];
+        Node* rch = is_leaf ? nullptr : &nodes[static_cast<size_t>(nd->right)];
+        graph.submit(
+            [nd, lch, rch, d, e, is_leaf, &ctx] {
+              if (is_leaf) {
+                solve_leaf(*nd, d, e);
+              } else {
+                // Intra-merge constructs self-serialize on pool workers.
+                merge_node(*nd, *lch, *rch, d, 1, ctx);
+              }
+            },
+            {}, topts);
+      };
+      if (leaves_across)
+        for (idx id : leaves) submit(id, "dc_leaf", true);
+      if (merges_across)
+        for (idx id : merges) submit(id, "dc_merge", false);
+      const double t0 = ctx.clock.seconds();
+      graph.run(ctx.workers);
+      ctx.splice(graph.trace(), t0);
+    }
+    if (!leaves_across) {
+      for (idx id : leaves) {
+        const double t0 = ctx.clock.seconds();
+        solve_leaf(nodes[static_cast<size_t>(id)], d, e);
+        ctx.emit("dc_leaf", t0, ctx.clock.seconds());
+      }
+    }
+    if (!merges_across) {
+      for (idx id : merges) {
+        Node& nd = nodes[static_cast<size_t>(id)];
+        const double t0 = ctx.clock.seconds();
+        merge_node(nd, nodes[static_cast<size_t>(nd.left)],
+                   nodes[static_cast<size_t>(nd.right)], d, ctx.workers, ctx);
+        ctx.emit("dc_merge", t0, ctx.clock.seconds());
+      }
+    }
+  }
+
+  const Matrix& q = nodes[0].q;
   lapack::lacpy(n, n, q.data(), q.ld(), z, ldz);
+  g_stats = ctx.stats();
+}
+
+void stedc(idx n, double* d, double* e, double* z, idx ldz, idx crossover) {
+  StedcOptions opts;
+  opts.crossover = crossover;
+  stedc(n, d, e, z, ldz, opts);
 }
 
 StedcStats stedc_last_stats() { return g_stats; }

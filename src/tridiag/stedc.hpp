@@ -10,23 +10,60 @@
 //     Newton iteration, recompute the rank-one vector with the
 //     Gu-Eisenstat formula for orthogonal eigenvectors, and multiply back
 //     (GEMM -- the compute-bound bulk of the phase).
+//
+// Parallel execution flattens the recursion into an explicit merge tree and
+// walks it level by level on the shared worker pool (see StedcOptions and
+// docs/ALGORITHMS.md "Parallel merge tree"):
+//   * the 2^depth independent leaves run as concurrent TaskGraph tasks;
+//   * levels with at least num_workers merges run one task per merge;
+//   * the few large merges near the root run on the calling thread with
+//     *internal* parallelism instead -- the k independent secular roots,
+//     the Gu-Eisenstat vector and the rank-one eigenvector columns via
+//     parallel_for, and the back-multiplication as a column-partitioned
+//     GEMM with the same static column-ownership task shape as apply_q2.
 #pragma once
+
+#include <vector>
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
+#include "runtime/task_graph.hpp"
 
 namespace tseig::tridiag {
+
+/// Tuning/scheduling options for stedc.
+struct StedcOptions {
+  /// Subproblem size below which the QL/QR iteration is used directly.
+  idx crossover = 32;
+  /// Workers for the merge tree: 1 = fully sequential, > 1 = that many
+  /// logical workers on the shared pool, <= 0 = the library default
+  /// (TSEIG_NUM_THREADS / hardware concurrency).
+  int num_workers = 1;
+  /// When non-null, receives one trace event per leaf solve, merge and
+  /// column-block GEMM task ("dc_leaf" / "dc_merge" / "dc_gemm"), with
+  /// times measured from the stedc() call (same Chrome-trace plumbing as
+  /// the stage-2 chase; see bench_trace_schedule).
+  std::vector<rt::TraceEvent>* trace = nullptr;
+};
 
 /// Computes all eigenpairs of the symmetric tridiagonal (d, e).
 ///
 /// On exit d holds the eigenvalues ascending and z (n-by-n, overwritten) the
 /// corresponding orthonormal eigenvectors.  `e` (capacity n, significant
-/// n-1) is destroyed.  `crossover` is the subproblem size below which the
-/// QL/QR iteration is used directly.
+/// n-1) is destroyed.  The parallel path (num_workers > 1) executes the same
+/// floating-point operations as the serial one, merge by merge, so results
+/// agree to rounding regardless of the worker count.
+void stedc(idx n, double* d, double* e, double* z, idx ldz,
+           const StedcOptions& opts);
+
+/// Serial convenience wrapper (the pre-parallel signature).
 void stedc(idx n, double* d, double* e, double* z, idx ldz,
            idx crossover = 32);
 
 /// Statistics of the last stedc call on this thread (test/diagnostic aid).
+/// Counts are aggregated across all workers of that call: each merge task
+/// accumulates into a private StedcStats and flushes it once, under a lock,
+/// into the call-wide collector, which is published here on return.
 struct StedcStats {
   idx merges = 0;          // rank-one merges performed
   idx total_size = 0;      // sum of merge sizes

@@ -2,6 +2,7 @@
 // reduction method, tridiagonal solver, job and fraction.
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -85,11 +86,21 @@ TEST_P(SyevConfigs, TwentyPercentSubset) {
 
   const idx m = n / 5;
   ASSERT_EQ(res.z.cols(), m);
+  // SyevResult invariant: every solver path returns exactly as many
+  // eigenvalues as eigenvector columns (the qr/dc paths used to return all
+  // n next to m columns).
+  ASSERT_EQ(res.eigenvalues.size(), static_cast<size_t>(m));
   // The returned eigenvectors must correspond to the m smallest eigenvalues.
-  std::vector<double> wsub(res.eigenvalues.begin(),
-                           res.eigenvalues.begin() + m);
-  EXPECT_LE(testing::eigen_residual(a, res.z, wsub), 1e-10 * n);
+  EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n);
   EXPECT_LE(testing::orthogonality_error(res.z), 1e-8 * n);
+
+  // The m eigenvalues are the smallest of the full spectrum.
+  SyevOptions full_opts = opts;
+  full_opts.fraction = 1.0;
+  auto full = syev(n, a.data(), a.ld(), full_opts);
+  for (idx i = 0; i < m; ++i)
+    EXPECT_NEAR(res.eigenvalues[static_cast<size_t>(i)],
+                full.eigenvalues[static_cast<size_t>(i)], 1e-10 * n);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -175,6 +186,50 @@ TEST(Syev, TinyMatrices) {
       opts.nb = 4;
       auto res = solver::syev(n, a.data(), a.ld(), opts);
       EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-12 * (n + 1));
+    }
+  }
+}
+
+TEST(Syev, TinyMatricesTwoStageAllConfigs) {
+  // Regression for the nb clamp: min(nb, max(2, n-1)) let nb = 2 reach
+  // sy2sb for n <= 2, a band wider than the matrix.  Every solver/jobz
+  // combination must handle n = 1, 2, 3 through the two-stage path.
+  Rng rng(43);
+  for (idx n : {idx{1}, idx{2}, idx{3}}) {
+    Matrix a = testing::random_symmetric(n, rng);
+
+    // Reference spectrum from the one-stage QR path.
+    SyevOptions ref_opts;
+    ref_opts.algo = method::one_stage;
+    ref_opts.solver = eig_solver::qr;
+    ref_opts.nb = 2;
+    auto ref = solver::syev(n, a.data(), a.ld(), ref_opts);
+
+    for (eig_solver sol :
+         {eig_solver::qr, eig_solver::dc, eig_solver::bisect}) {
+      for (jobz job : {jobz::vectors, jobz::values_only}) {
+        SyevOptions opts;
+        opts.algo = method::two_stage;
+        opts.solver = sol;
+        opts.job = job;
+        opts.nb = 8;  // deliberately larger than n
+        auto res = solver::syev(n, a.data(), a.ld(), opts);
+        SCOPED_TRACE("n=" + std::to_string(n) +
+                     " solver=" + std::to_string(static_cast<int>(sol)) +
+                     " job=" + std::to_string(static_cast<int>(job)));
+        ASSERT_EQ(res.eigenvalues.size(), static_cast<size_t>(n));
+        for (idx i = 0; i < n; ++i)
+          EXPECT_NEAR(res.eigenvalues[static_cast<size_t>(i)],
+                      ref.eigenvalues[static_cast<size_t>(i)], 1e-13 * (n + 1));
+        if (job == jobz::vectors) {
+          ASSERT_EQ(res.z.cols(), n);
+          EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues),
+                    1e-12 * (n + 1));
+          EXPECT_LE(testing::orthogonality_error(res.z), 1e-12 * (n + 1));
+        } else {
+          EXPECT_EQ(res.z.cols(), 0);
+        }
+      }
     }
   }
 }
