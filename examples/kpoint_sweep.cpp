@@ -1,0 +1,117 @@
+// k-point sweep: the canonical *batched* eigensolver workload.
+//
+//   ./example_kpoint_sweep [n] [nk] [workers]
+//
+// Electronic-structure codes diagonalize one Hamiltonian H(k) per k-point
+// of a Brillouin-zone mesh -- dozens to thousands of independent medium-size
+// dense problems per SCF iteration, not one big one.  This example builds a
+// real symmetric supercell model
+//
+//   H(k) = H0 + cos(k) V      (H0 = intra-cell chain, V = cell-boundary
+//                              coupling; a k.p-style parameterization)
+//
+// for nk mesh points and solves all of them in one solver::syev_batch call,
+// then prints the resulting band structure and the batch scheduling stats
+// against a sequential loop over solver::syev.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "tseig.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tseig;
+  const idx n = argc > 1 ? std::atoll(argv[1]) : 96;    // orbitals per cell
+  const idx nk = argc > 2 ? std::atoll(argv[2]) : 24;   // mesh points
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 0;  // 0 = default
+
+  // Shared pieces: H0 (chain with soft long-range tail, on-site pattern)
+  // and the boundary-coupling perturbation V.
+  Rng rng(2026);
+  Matrix h0(n, n);
+  for (idx i = 0; i < n; ++i) {
+    h0(i, i) = 0.3 * (2.0 * rng.uniform() - 1.0);
+    if (i + 1 < n) {
+      h0(i + 1, i) = -1.0;
+      h0(i, i + 1) = -1.0;
+    }
+  }
+  Matrix v(n, n);
+  for (idx i = 0; i < std::min<idx>(n, 4); ++i) {
+    const idx j = n - 1 - i;
+    v(i, j) = v(j, i) = -0.5;
+    v(i, i) = 0.1;
+    v(j, j) = 0.1;
+  }
+
+  // One H(k) per mesh point.  Each matrix must stay alive for the duration
+  // of the batch call; BatchProblem only references it.
+  std::vector<Matrix> hk(static_cast<size_t>(nk));
+  std::vector<solver::BatchProblem> batch(static_cast<size_t>(nk));
+  for (idx q = 0; q < nk; ++q) {
+    const double k = M_PI * static_cast<double>(q) / static_cast<double>(nk - 1);
+    Matrix& h = hk[static_cast<size_t>(q)];
+    h.reshape(n, n);
+    for (idx j = 0; j < n; ++j)
+      for (idx i = 0; i < n; ++i) h(i, j) = h0(i, j) + std::cos(k) * v(i, j);
+    solver::BatchProblem& p = batch[static_cast<size_t>(q)];
+    p.n = n;
+    p.a = h.data();
+    p.lda = h.ld();
+    p.opts.algo = solver::method::two_stage;
+    p.opts.solver = solver::eig_solver::dc;
+  }
+
+  // Sequential baseline: the loop every production code starts with.
+  WallTimer seq_timer;
+  std::vector<solver::SyevResult> seq(static_cast<size_t>(nk));
+  for (idx q = 0; q < nk; ++q) {
+    const solver::BatchProblem& p = batch[static_cast<size_t>(q)];
+    seq[static_cast<size_t>(q)] = solver::syev(p.n, p.a, p.lda, p.opts);
+  }
+  const double seq_seconds = seq_timer.seconds();
+
+  // Batched solve: same answers (bitwise), one scheduler call.
+  solver::SyevBatchOptions bopts;
+  bopts.num_workers = workers;
+  auto out = solver::syev_batch(batch, bopts);
+
+  double dmax = 0.0;
+  for (idx q = 0; q < nk; ++q)
+    for (idx i = 0; i < n; ++i)
+      dmax = std::max(dmax,
+                      std::fabs(out.results[static_cast<size_t>(q)]
+                                    .eigenvalues[static_cast<size_t>(i)] -
+                                seq[static_cast<size_t>(q)]
+                                    .eigenvalues[static_cast<size_t>(i)]));
+
+  std::printf("k-point sweep: n = %lld orbitals, nk = %lld mesh points\n",
+              (long long)n, (long long)nk);
+  std::printf("batch vs sequential-loop eigenvalue difference: %.1e "
+              "(bitwise contract: 0)\n", dmax);
+  std::printf("sequential loop: %.3f s   syev_batch: %.3f s   (%d workers, "
+              "occupancy %.0f%%)\n",
+              seq_seconds, out.stats.total_seconds, out.stats.num_workers,
+              100.0 * out.stats.occupancy());
+  std::printf("scheduling: %lld whole-problem tasks, %lld full-budget "
+              "problems (crossover n = %lld)\n",
+              (long long)out.stats.whole_problem_count,
+              (long long)out.stats.partitioned_count,
+              (long long)out.stats.crossover);
+
+  // Band structure: lowest 8 bands along the mesh.
+  const idx bands = std::min<idx>(8, n);
+  std::printf("\nlowest %lld bands E_b(k):\n  k/pi ", (long long)bands);
+  for (idx b = 0; b < bands; ++b) std::printf("   band%lld", (long long)b);
+  std::printf("\n");
+  for (idx q = 0; q < nk; q += std::max<idx>(1, nk / 8)) {
+    std::printf("  %4.2f ",
+                static_cast<double>(q) / static_cast<double>(nk - 1));
+    for (idx b = 0; b < bands; ++b)
+      std::printf(" %7.3f", out.results[static_cast<size_t>(q)]
+                                .eigenvalues[static_cast<size_t>(b)]);
+    std::printf("\n");
+  }
+  return dmax == 0.0 ? 0 : 1;
+}

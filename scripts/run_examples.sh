@@ -1,0 +1,31 @@
+#!/bin/sh
+# Builds and smoke-runs every example with small problem sizes, so CI
+# catches examples that rot when the library API moves.  Each invocation
+# finishes in seconds; failures propagate through set -e.
+#
+# Usage: scripts/run_examples.sh [build-dir]   (default: build)
+set -e
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S . -DTSEIG_NATIVE=OFF
+fi
+cmake --build "$BUILD" -j \
+  --target example_quickstart example_solver_cli example_pca \
+           example_spectral_partition example_tight_binding \
+           example_vibration_modes example_kpoint_sweep
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run "$BUILD/examples/example_quickstart" 96
+run "$BUILD/examples/example_solver_cli" --n 64 --nb 16 --verify
+run "$BUILD/examples/example_pca" 60 400 3
+run "$BUILD/examples/example_spectral_partition" 8 6
+run "$BUILD/examples/example_tight_binding" 96 1.0
+run "$BUILD/examples/example_vibration_modes" 80 4
+run "$BUILD/examples/example_kpoint_sweep" 48 12 4
+echo "all examples passed"

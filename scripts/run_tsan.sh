@@ -1,8 +1,10 @@
 #!/bin/sh
 # Builds the library with ThreadSanitizer (TSEIG_SANITIZE=thread) and runs
 # the threading-sensitive tests: the task runtime, the shared worker pool,
-# the parallel stress suite, the parallel divide-and-conquer eigensolver and
-# the two-stage pipeline stages that execute on the runtime.
+# the parallel stress suite, the concurrent-client stress suite, the
+# parallel divide-and-conquer eigensolver and the two-stage pipeline stages
+# that execute on the runtime.  The set is maintained as the `tsan` ctest
+# label in tests/CMakeLists.txt.
 #
 # Usage: scripts/run_tsan.sh [build-dir]   (default: build-tsan)
 #        TSEIG_SANITIZE=address scripts/run_tsan.sh build-asan  # ASan run
@@ -17,6 +19,6 @@ cmake -B "$BUILD" -S . \
   -DTSEIG_NATIVE=OFF
 cmake --build "$BUILD" -j \
   --target test_runtime test_thread_pool test_parallel_stress \
-           test_stedc_parallel test_sy2sb test_sb2st test_q2_apply
-ctest --test-dir "$BUILD" --output-on-failure \
-  -R '^test_(runtime|thread_pool|parallel_stress|stedc_parallel|sy2sb|sb2st|q2_apply)$'
+           test_stedc_parallel test_sy2sb test_sb2st test_q2_apply \
+           test_concurrent_clients
+ctest --test-dir "$BUILD" --output-on-failure -L tsan

@@ -4,9 +4,18 @@
 // Counters are plain thread-local accumulators: each BLAS-like kernel adds its
 // nominal flop count on entry.  `FlopScope` snapshots the counter so callers
 // can attribute flops to a phase without instrumenting every call site.
+//
+// Work that a thread *delegates* to the shared pool still lands in that
+// thread's counter: ThreadPool::fork_join measures the flops each forked body
+// executes on its worker and credits the sum back to the forking thread when
+// the join completes.  Every parallel construct (parallel_for, TaskGraph::run)
+// funnels through fork_join, so a FlopScope around a parallel solve sees the
+// whole solve -- and *only* that solve, even when other host threads are
+// running their own solves on the same pool concurrently.  (The previous
+// process-global counter cross-attributed concurrent clients' work, which
+// made per-problem phase breakdowns meaningless under syev_batch.)
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -14,28 +23,23 @@
 namespace tseig {
 
 namespace detail {
-/// Global flop counter.  Relaxed atomics: counts are statistics, not
-/// synchronization, and kernels on different threads only ever add.
-inline std::atomic<std::uint64_t>& flop_counter() {
-  static std::atomic<std::uint64_t> counter{0};
+/// Per-thread flop counter (see the delegation note above).
+inline std::uint64_t& flop_counter() {
+  thread_local std::uint64_t counter = 0;
   return counter;
 }
 }  // namespace detail
 
-/// Adds `n` flops to the global counter.  No-op for negative values.
+/// Adds `n` flops to the calling thread's counter.  No-op for negative values.
 inline void count_flops(std::int64_t n) {
-  if (n > 0)
-    detail::flop_counter().fetch_add(static_cast<std::uint64_t>(n),
-                                     std::memory_order_relaxed);
+  if (n > 0) detail::flop_counter() += static_cast<std::uint64_t>(n);
 }
 
-/// Current global flop count.
-inline std::uint64_t flops_now() {
-  return detail::flop_counter().load(std::memory_order_relaxed);
-}
+/// Current flop count of the calling thread (including joined pool work).
+inline std::uint64_t flops_now() { return detail::flop_counter(); }
 
-/// RAII scope measuring the flops executed (on all threads) between its
-/// construction and the call to count().
+/// RAII scope measuring the flops executed by the calling thread -- plus any
+/// pool work it forked and joined -- between its construction and count().
 class FlopScope {
 public:
   FlopScope() : start_(flops_now()) {}

@@ -10,6 +10,25 @@
 #include "runtime/thread_pool.hpp"
 
 namespace tseig::rt {
+namespace {
+
+/// Logical worker id of the run() the current thread is working for; -1
+/// outside any graph execution.  Saved/restored around worker loops so a
+/// nested (serialized) run() inside a task reports its own worker 0 and the
+/// outer id reappears when it returns.
+thread_local int tl_graph_worker = -1;
+
+struct GraphWorkerGuard {
+  int saved;
+  explicit GraphWorkerGuard(int id) : saved(tl_graph_worker) {
+    tl_graph_worker = id;
+  }
+  ~GraphWorkerGuard() { tl_graph_worker = saved; }
+};
+
+}  // namespace
+
+int TaskGraph::current_worker() { return tl_graph_worker; }
 
 void TaskGraph::add_edge(idx from, idx to) {
   if (from == to || from < 0) return;
@@ -97,6 +116,7 @@ void TaskGraph::run(int num_workers) {
   }
 
   auto worker_loop = [&](int worker_id) {
+    GraphWorkerGuard guard(worker_id);
     std::unique_lock<std::mutex> lock(mu);
     for (;;) {
       // Pinned tasks first (they are on this worker's critical path by

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/flops.hpp"
 #include "common/types.hpp"
 
 namespace tseig::rt {
@@ -32,6 +33,11 @@ struct ThreadPool::Impl {
   struct Batch {
     const std::function<void(int)>* job = nullptr;
     std::atomic<int> remaining{0};  // bodies not yet finished (incl. body 0)
+    // Flops the forked bodies executed on pool workers; credited back to the
+    // forking thread's counter after the join so a FlopScope around the
+    // fork_join sees exactly this call's work (and none of the work other
+    // concurrent pool clients delegated).
+    std::atomic<std::uint64_t> forked_flops{0};
     std::mutex m;
     std::condition_variable done;
   };
@@ -74,7 +80,10 @@ struct ThreadPool::Impl {
       queue.pop_front();
       ++busy;
       lock.unlock();
+      const std::uint64_t flops_before = flops_now();
       (*t.batch->job)(t.index);
+      t.batch->forked_flops.fetch_add(flops_now() - flops_before,
+                                      std::memory_order_relaxed);
       jobs.fetch_add(1, std::memory_order_relaxed);
       finish_body(*t.batch);
       lock.lock();
@@ -165,6 +174,11 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
   batch.done.wait(lock, [&] {
     return batch.remaining.load(std::memory_order_acquire) == 0;
   });
+  lock.unlock();
+  // Credit the delegated work to this thread's flop counter (body 0 already
+  // ran here and counted itself).
+  count_flops(static_cast<std::int64_t>(
+      batch.forked_flops.load(std::memory_order_relaxed)));
 }
 
 PoolStats ThreadPool::stats() const {

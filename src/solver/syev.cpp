@@ -267,7 +267,14 @@ SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
   // Single resolution point for the worker count: 0 or negative selects the
   // library default (TSEIG_NUM_THREADS / hardware concurrency); everything
   // downstream receives a concrete count and executes on the shared pool.
-  o.num_workers = rt::resolve_num_workers(o.num_workers);
+  // A solve that is itself running inside a parallel region (a whole-problem
+  // task of syev_batch, or any user task) gets exactly one worker: every
+  // inner TaskGraph::run / parallel_for would serialize anyway, and
+  // resolving to the hardware default there would make the recorded options
+  // and any worker-count-driven planning lie about the actual execution.
+  o.num_workers = rt::ThreadPool::in_parallel_region()
+                      ? 1
+                      : rt::resolve_num_workers(o.num_workers);
   if (o.stage2_workers > o.num_workers) o.stage2_workers = o.num_workers;
   if (o.algo == method::one_stage) return solve_one_stage(n, a, lda, o);
   return solve_two_stage(n, a, lda, o);

@@ -66,7 +66,11 @@ struct SyevOptions {
   /// default (TSEIG_NUM_THREADS or hardware concurrency).  syev() resolves
   /// this once and passes a concrete count to every phase, including the
   /// D&C tridiagonal solve (leaf fan-out + parallel merges, see
-  /// tridiag::StedcOptions).
+  /// tridiag::StedcOptions).  Calls made from inside a parallel region (e.g.
+  /// a whole-problem task scheduled by syev_batch) always resolve to 1: the
+  /// nesting rule serializes every inner construct, and the worker budget
+  /// belongs to the outer scheduler.  Results are bitwise independent of the
+  /// resolved count on every path, so overriding it never changes answers.
   int num_workers = 1;
   /// Worker subset for the memory-bound bulge chasing (0 = all).
   int stage2_workers = 0;

@@ -27,6 +27,7 @@
 #include "onestage/sytrd.hpp"
 #include "runtime/task_graph.hpp"
 #include "solver/syev.hpp"
+#include "solver/syev_batch.hpp"
 #include "solver/sygv.hpp"
 #include "tridiag/bisect.hpp"
 #include "tridiag/stedc.hpp"

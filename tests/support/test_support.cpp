@@ -1,6 +1,8 @@
 #include "test_support.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "blas/blas3.hpp"
 
@@ -129,6 +131,143 @@ double eigen_residual(const Matrix& a, const Matrix& z,
     for (idx i = 0; i < n; ++i)
       worst = std::max(worst, std::fabs(az(i, j) - w[static_cast<size_t>(j)] * z(i, j)));
   return worst;
+}
+
+namespace {
+
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+
+/// A-norm floored at 1 so an exactly-zero matrix (residual identically 0)
+/// does not divide by zero; any nonzero norm, however tiny, is kept so the
+/// metrics stay scale-invariant.
+double norm_or_one(const Matrix& a) {
+  const double nrm = fro_norm(a);
+  return nrm > 0.0 ? nrm : 1.0;
+}
+
+/// R = A Z (dense GEMM into a fresh matrix).
+Matrix times(const Matrix& a, const Matrix& z) {
+  Matrix r(a.rows(), z.cols());
+  blas::gemm(op::none, op::none, a.rows(), z.cols(), a.cols(), 1.0, a.data(),
+             a.ld(), z.data(), z.ld(), 0.0, r.data(), r.ld());
+  return r;
+}
+
+}  // namespace
+
+double scaled_eigen_residual(const Matrix& a, const std::vector<double>& w,
+                             const Matrix& z) {
+  const idx n = a.rows();
+  const idx m = z.cols();
+  Matrix r = times(a, z);
+  for (idx j = 0; j < m; ++j)
+    for (idx i = 0; i < n; ++i) r(i, j) -= w[static_cast<size_t>(j)] * z(i, j);
+  return fro_norm(r) / (static_cast<double>(n) * kEps * norm_or_one(a));
+}
+
+double scaled_orthogonality(const Matrix& z) {
+  const idx m = z.cols();
+  Matrix gram(m, m);
+  blas::gemm(op::trans, op::none, m, m, z.rows(), 1.0, z.data(), z.ld(),
+             z.data(), z.ld(), 0.0, gram.data(), gram.ld());
+  for (idx j = 0; j < m; ++j) gram(j, j) -= 1.0;
+  return fro_norm(gram) / (static_cast<double>(z.rows()) * kEps);
+}
+
+double scaled_generalized_residual(const Matrix& a, const Matrix& b,
+                                   const std::vector<double>& w,
+                                   const Matrix& z) {
+  const idx n = a.rows();
+  const idx m = z.cols();
+  Matrix r = times(a, z);
+  Matrix bz = times(b, z);
+  for (idx j = 0; j < m; ++j)
+    for (idx i = 0; i < n; ++i) r(i, j) -= w[static_cast<size_t>(j)] * bz(i, j);
+  const double scale = (fro_norm(a) + fro_norm(b)) * fro_norm(z);
+  return fro_norm(r) /
+         (static_cast<double>(n) * kEps * (scale > 0.0 ? scale : 1.0));
+}
+
+double scaled_b_orthogonality(const Matrix& b, const Matrix& z) {
+  const idx m = z.cols();
+  Matrix bz = times(b, z);
+  Matrix gram(m, m);
+  blas::gemm(op::trans, op::none, m, m, z.rows(), 1.0, z.data(), z.ld(),
+             bz.data(), bz.ld(), 0.0, gram.data(), gram.ld());
+  for (idx j = 0; j < m; ++j) gram(j, j) -= 1.0;
+  return fro_norm(gram) /
+         (static_cast<double>(z.rows()) * kEps * norm_or_one(b));
+}
+
+namespace {
+
+/// Shape/sortedness preamble shared by both checkers; appends failures to
+/// `out` and returns false if the metrics cannot even be evaluated.
+bool check_shapes(const Matrix& a, const std::vector<double>& w,
+                  const Matrix& z, ::testing::AssertionResult& out) {
+  if (w.size() != static_cast<size_t>(z.cols())) {
+    out << "eigenvalue count " << w.size() << " != eigenvector columns "
+        << z.cols() << "; ";
+    return false;
+  }
+  if (z.cols() > 0 && z.rows() != a.rows()) {
+    out << "eigenvector rows " << z.rows() << " != matrix dimension "
+        << a.rows() << "; ";
+    return false;
+  }
+  if (!std::is_sorted(w.begin(), w.end()))
+    out << "eigenvalues not ascending; ";
+  return true;
+}
+
+}  // namespace
+
+::testing::AssertionResult check_eigen_pairs(const Matrix& a,
+                                             const std::vector<double>& w,
+                                             const Matrix& z,
+                                             double residual_tol,
+                                             double orth_tol) {
+  ::testing::AssertionResult fail = ::testing::AssertionFailure();
+  bool ok = check_shapes(a, w, z, fail);
+  if (ok) {
+    if (z.cols() == 0) return ::testing::AssertionSuccess();
+    const double resid = scaled_eigen_residual(a, w, z);
+    const double orth = scaled_orthogonality(z);
+    if (!(resid <= residual_tol)) {
+      fail << "scaled eigen-residual " << resid << " > " << residual_tol
+           << "; ";
+      ok = false;
+    }
+    if (!(orth <= orth_tol)) {
+      fail << "scaled orthogonality " << orth << " > " << orth_tol << "; ";
+      ok = false;
+    }
+    ok = ok && std::is_sorted(w.begin(), w.end());
+  }
+  return ok ? ::testing::AssertionSuccess() : fail;
+}
+
+::testing::AssertionResult check_generalized_eigen_pairs(
+    const Matrix& a, const Matrix& b, const std::vector<double>& w,
+    const Matrix& z, double residual_tol, double orth_tol) {
+  ::testing::AssertionResult fail = ::testing::AssertionFailure();
+  bool ok = check_shapes(a, w, z, fail);
+  if (ok) {
+    if (z.cols() == 0) return ::testing::AssertionSuccess();
+    const double resid = scaled_generalized_residual(a, b, w, z);
+    const double orth = scaled_b_orthogonality(b, z);
+    if (!(resid <= residual_tol)) {
+      fail << "scaled generalized residual " << resid << " > " << residual_tol
+           << "; ";
+      ok = false;
+    }
+    if (!(orth <= orth_tol)) {
+      fail << "scaled B-orthogonality " << orth << " > " << orth_tol << "; ";
+      ok = false;
+    }
+    ok = ok && std::is_sorted(w.begin(), w.end());
+  }
+  return ok ? ::testing::AssertionSuccess() : fail;
 }
 
 }  // namespace tseig::testing

@@ -1,8 +1,12 @@
 // Shared helpers for the tseig test suite: naive reference kernels (trusted
-// oracles for the optimized BLAS), random matrix builders and error metrics.
+// oracles for the optimized BLAS), random matrix builders, error metrics and
+// the LAPACK-style eigen-decomposition verification oracles used across the
+// whole pipeline's tests.
 #pragma once
 
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "common/matrix.hpp"
 #include "common/rng.hpp"
@@ -54,5 +58,50 @@ double orthogonality_error(const Matrix& q);
 /// ||A Z - Z diag(w)||_max, eigen-residual for symmetric A.
 double eigen_residual(const Matrix& a, const Matrix& z,
                       const std::vector<double>& w);
+
+// ---- Eigen-decomposition verification oracles (LAPACK xDRVST style) ----
+//
+// The scaled metrics below are dimensionless and O(1..tens) for any
+// backward-stable solver, independent of n, of the matrix norm and of the
+// subset size, so every test can assert the same thresholds instead of
+// re-deriving ad-hoc absolute bounds per test.
+
+/// ‖AZ − ZΛ‖_F / (n ε ‖A‖_F): scaled eigen-residual for symmetric A and the
+/// eigenpairs (w, Z), Z n-by-m with m = w.size() (subsets allowed).  A zero
+/// matrix uses ‖A‖ = 1 (the residual is exactly 0 there anyway).
+double scaled_eigen_residual(const Matrix& a, const std::vector<double>& w,
+                             const Matrix& z);
+
+/// ‖ZᵀZ − I‖_F / (n ε): scaled orthonormality of Z's columns.
+double scaled_orthogonality(const Matrix& z);
+
+/// ‖AZ − BZΛ‖_F / (n ε (‖A‖_F + ‖B‖_F) ‖Z‖_F): scaled residual of the
+/// generalized problem A z = λ B z (Z is B-orthonormal, not orthonormal, so
+/// its norm enters the scaling).
+double scaled_generalized_residual(const Matrix& a, const Matrix& b,
+                                   const std::vector<double>& w,
+                                   const Matrix& z);
+
+/// ‖ZᵀBZ − I‖_F / (n ε ‖B‖_F): scaled B-orthonormality of Z's columns.
+double scaled_b_orthogonality(const Matrix& b, const Matrix& z);
+
+/// Full contract check for a standard symmetric eigen-solution: shapes
+/// consistent (w.size() == z.cols(), z.rows() == a.rows()), eigenvalues
+/// ascending, scaled residual <= residual_tol and scaled orthogonality <=
+/// orth_tol.  The default thresholds are LAPACK's customary 30 with headroom;
+/// inverse-iteration paths need a looser orth_tol inside tight clusters.
+/// Use as EXPECT_TRUE(check_eigen_pairs(a, w, z)); failures report every
+/// violated metric with its value.
+::testing::AssertionResult check_eigen_pairs(const Matrix& a,
+                                             const std::vector<double>& w,
+                                             const Matrix& z,
+                                             double residual_tol = 50.0,
+                                             double orth_tol = 50.0);
+
+/// Same contract for the generalized problem A z = λ B z with B-orthonormal
+/// eigenvectors.
+::testing::AssertionResult check_generalized_eigen_pairs(
+    const Matrix& a, const Matrix& b, const std::vector<double>& w,
+    const Matrix& z, double residual_tol = 50.0, double orth_tol = 50.0);
 
 }  // namespace tseig::testing

@@ -1,0 +1,243 @@
+// Stress tests for concurrent *host-thread* clients of the shared runtime:
+// several application threads calling syev, parallel_for, TaskGraph::run and
+// syev_batch at the same time.  The pool is a process-wide singleton, so
+// these are the tests that shake out cross-client races (lost wakeups,
+// ticket mixups, flop cross-attribution).  Run under TSan via run_tsan.sh.
+//
+// gtest assertions are not thread-safe, so worker threads only record
+// results; all checking happens on the main thread after join.
+#include <cstdlib>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/flops.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "runtime/task_graph.hpp"
+#include "solver/syev.hpp"
+#include "solver/syev_batch.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using solver::syev;
+using solver::SyevOptions;
+
+// Force real pool parallelism regardless of the host's core count.
+const bool forced_threads = [] {
+  setenv("TSEIG_NUM_THREADS", "4", 1);
+  return true;
+}();
+
+constexpr int kClients = 4;
+constexpr int kRounds = 3;
+
+TEST(ConcurrentClients, SyevFromManyHostThreadsIsBitwiseStable) {
+  // Each host thread owns one problem and solves it repeatedly with varying
+  // worker counts while the other threads hammer the same pool.  Every
+  // solve must match the quiet sequential reference bitwise.
+  std::vector<Matrix> mats;
+  std::vector<solver::SyevResult> refs;
+  for (int c = 0; c < kClients; ++c) {
+    Rng rng(100 + static_cast<std::uint64_t>(c));
+    mats.push_back(testing::random_symmetric(48 + 8 * c, rng));
+    SyevOptions opts;
+    opts.nb = 12;
+    refs.push_back(
+        syev(mats.back().rows(), mats.back().data(), mats.back().ld(), opts));
+  }
+
+  std::vector<std::vector<solver::SyevResult>> got(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        SyevOptions opts;
+        opts.nb = 12;
+        opts.num_workers = 1 + (c + round) % 4;
+        got[static_cast<size_t>(c)].push_back(syev(
+            mats[static_cast<size_t>(c)].rows(),
+            mats[static_cast<size_t>(c)].data(),
+            mats[static_cast<size_t>(c)].ld(), opts));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto& ref = refs[static_cast<size_t>(c)];
+    for (int round = 0; round < kRounds; ++round) {
+      SCOPED_TRACE("client " + std::to_string(c) + " round " +
+                   std::to_string(round));
+      const auto& r = got[static_cast<size_t>(c)][static_cast<size_t>(round)];
+      ASSERT_EQ(r.eigenvalues.size(), ref.eigenvalues.size());
+      for (size_t i = 0; i < ref.eigenvalues.size(); ++i)
+        EXPECT_EQ(r.eigenvalues[i], ref.eigenvalues[i]);
+      EXPECT_LE(testing::max_abs_diff(r.z, ref.z), 0.0);
+    }
+  }
+}
+
+TEST(ConcurrentClients, MixedConstructsShareThePool) {
+  // parallel_for, TaskGraph::run and a full syev running concurrently from
+  // different host threads, several rounds each.  Checks results, not
+  // timing: the pool must keep every client's dataflow intact.
+  const idx n = 1 << 14;
+  std::vector<double> x(static_cast<size_t>(n));
+  for (idx i = 0; i < n; ++i) x[static_cast<size_t>(i)] = static_cast<double>(i);
+
+  Rng rng(7);
+  Matrix a = testing::random_symmetric(40, rng);
+  SyevOptions sopts;
+  sopts.nb = 8;
+  sopts.num_workers = 2;
+  const auto ref = syev(a.rows(), a.data(), a.ld(), sopts);
+
+  std::atomic<bool> pf_ok{true};
+  std::vector<std::int64_t> graph_sums(kRounds, 0);
+  std::vector<solver::SyevResult> solves;
+
+  std::thread pf_thread([&] {
+    for (int round = 0; round < kRounds && pf_ok.load(); ++round) {
+      std::vector<double> y(static_cast<size_t>(n), 0.0);
+      parallel_for(4, 0, n, 256,
+                   [&](idx i) { y[static_cast<size_t>(i)] = 2.0 * x[static_cast<size_t>(i)]; });
+      for (idx i = 0; i < n; ++i)
+        if (y[static_cast<size_t>(i)] != 2.0 * static_cast<double>(i)) {
+          pf_ok.store(false);
+          break;
+        }
+    }
+  });
+  std::thread graph_thread([&] {
+    for (int round = 0; round < kRounds; ++round) {
+      // A fan-in graph: 16 independent adders then one reduction that must
+      // observe all of them (write-after-read hazards on the slots).
+      constexpr std::uint32_t kTag = 20;
+      std::vector<std::int64_t> slots(16, 0);
+      std::int64_t total = 0;
+      rt::TaskGraph g;
+      for (std::uint32_t t = 0; t < 16; ++t)
+        g.submit([&slots, t] { slots[t] = t + 1; },
+                 {rt::wr(rt::region_key(kTag, t, 0))});
+      std::vector<rt::Access> reads;
+      for (std::uint32_t t = 0; t < 16; ++t)
+        reads.push_back(rt::rd(rt::region_key(kTag, t, 0)));
+      g.submit([&slots, &total] {
+        for (std::int64_t v : slots) total += v;
+      }, reads);
+      g.run(4);
+      graph_sums[static_cast<size_t>(round)] = total;
+    }
+  });
+  std::thread syev_thread([&] {
+    for (int round = 0; round < kRounds; ++round)
+      solves.push_back(syev(a.rows(), a.data(), a.ld(), sopts));
+  });
+  pf_thread.join();
+  graph_thread.join();
+  syev_thread.join();
+
+  EXPECT_TRUE(pf_ok.load());
+  for (int round = 0; round < kRounds; ++round)
+    EXPECT_EQ(graph_sums[static_cast<size_t>(round)], 136);  // 1 + ... + 16
+  for (const auto& r : solves) {
+    ASSERT_EQ(r.eigenvalues.size(), ref.eigenvalues.size());
+    for (size_t i = 0; i < ref.eigenvalues.size(); ++i)
+      EXPECT_EQ(r.eigenvalues[i], ref.eigenvalues[i]);
+    EXPECT_LE(testing::max_abs_diff(r.z, ref.z), 0.0);
+  }
+}
+
+TEST(ConcurrentClients, ConcurrentBatchesMatchSequential) {
+  // Two host threads each running their own syev_batch against the shared
+  // pool; every per-problem result must still match a quiet sequential
+  // solve bitwise.
+  constexpr int kBatches = 2;
+  std::vector<std::vector<Matrix>> storage(kBatches);
+  std::vector<std::vector<solver::BatchProblem>> batches(kBatches);
+  std::vector<std::vector<solver::SyevResult>> refs(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    Rng rng(200 + static_cast<std::uint64_t>(b));
+    for (idx n : {idx{8}, idx{24}, idx{40}, idx{56}}) {
+      storage[static_cast<size_t>(b)].push_back(
+          testing::random_symmetric(n, rng));
+      solver::BatchProblem p;
+      p.n = n;
+      p.a = storage[static_cast<size_t>(b)].back().data();
+      p.lda = storage[static_cast<size_t>(b)].back().ld();
+      p.opts.nb = 8;
+      batches[static_cast<size_t>(b)].push_back(p);
+      refs[static_cast<size_t>(b)].push_back(syev(p.n, p.a, p.lda, p.opts));
+    }
+  }
+
+  std::vector<solver::SyevBatchResult> outs(kBatches);
+  std::vector<std::thread> threads;
+  for (int b = 0; b < kBatches; ++b)
+    threads.emplace_back([&, b] {
+      solver::SyevBatchOptions bopts;
+      bopts.num_workers = 2;
+      outs[static_cast<size_t>(b)] =
+          solver::syev_batch(batches[static_cast<size_t>(b)], bopts);
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (int b = 0; b < kBatches; ++b) {
+    const auto& out = outs[static_cast<size_t>(b)];
+    ASSERT_EQ(out.results.size(), batches[static_cast<size_t>(b)].size());
+    for (size_t i = 0; i < out.results.size(); ++i) {
+      SCOPED_TRACE("batch " + std::to_string(b) + " problem " +
+                   std::to_string(i));
+      const auto& ref = refs[static_cast<size_t>(b)][i];
+      const auto& r = out.results[i];
+      ASSERT_EQ(r.eigenvalues.size(), ref.eigenvalues.size());
+      for (size_t k = 0; k < ref.eigenvalues.size(); ++k)
+        EXPECT_EQ(r.eigenvalues[k], ref.eigenvalues[k]);
+      EXPECT_LE(testing::max_abs_diff(r.z, ref.z), 0.0);
+    }
+  }
+}
+
+TEST(ConcurrentClients, FlopCountsStayPerClient) {
+  // Regression for the process-global flop counter: a FlopScope around one
+  // client's solve must see exactly that solve's flops even while other
+  // clients run the same solve on the same pool (pool work is credited back
+  // to the forking thread, nobody else).
+  Rng rng(17);
+  Matrix a = testing::random_symmetric(64, rng);
+  SyevOptions opts;
+  opts.nb = 16;
+  opts.num_workers = 4;
+
+  // Quiet reference count (flop formulas are deterministic).
+  FlopScope ref_scope;
+  syev(a.rows(), a.data(), a.ld(), opts);
+  const std::uint64_t ref_flops = ref_scope.count();
+  ASSERT_GT(ref_flops, 0u);
+
+  std::vector<std::uint64_t> counts(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c)
+    threads.emplace_back([&, c] {
+      FlopScope scope;
+      for (int round = 0; round < kRounds; ++round)
+        syev(a.rows(), a.data(), a.ld(), opts);
+      counts[static_cast<size_t>(c)] = scope.count();
+    });
+  for (std::thread& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_EQ(counts[static_cast<size_t>(c)],
+              static_cast<std::uint64_t>(kRounds) * ref_flops)
+        << "client " << c;
+}
+
+}  // namespace
+}  // namespace tseig

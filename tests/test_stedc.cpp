@@ -14,7 +14,6 @@
 namespace tseig {
 namespace {
 
-using testing::eigen_residual;
 using testing::orthogonality_error;
 
 Matrix tridiag_dense(idx n, const std::vector<double>& d,
@@ -39,9 +38,8 @@ void check_eigensystem(idx n, const std::vector<double>& d0,
   Matrix z(n, n);
   tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), crossover);
 
-  EXPECT_TRUE(std::is_sorted(d.begin(), d.end()));
-  EXPECT_LE(eigen_residual(t, z, d), 1e-11 * n * tol_scale);
-  EXPECT_LE(orthogonality_error(z), 1e-11 * n * tol_scale);
+  EXPECT_TRUE(testing::check_eigen_pairs(t, d, z, 50.0 * tol_scale,
+                                         50.0 * tol_scale));
 
   // Eigenvalues must match the QL/QR reference.
   std::vector<double> dref = d0, eref = e0;
@@ -95,8 +93,7 @@ TEST(Stedc, CrossoverValuesAgree) {
     std::vector<double> dc = d, ec = e;
     Matrix z(n, n);
     tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), crossover);
-    EXPECT_LE(eigen_residual(t, z, dc), 1e-11 * n) << crossover;
-    EXPECT_LE(orthogonality_error(z), 1e-11 * n) << crossover;
+    EXPECT_TRUE(testing::check_eigen_pairs(t, dc, z)) << crossover;
   }
 }
 
@@ -127,8 +124,8 @@ TEST(Stedc, GluedWilkinsonHeavyDeflation) {
   std::vector<double> dc = d, ec = e;
   Matrix z(n, n);
   tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 16);
-  EXPECT_LE(eigen_residual(t, z, dc), 1e-10 * n);
-  EXPECT_LE(orthogonality_error(z), 1e-10 * n);
+  // Clustered spectra stress orthogonality; allow extra headroom.
+  EXPECT_TRUE(testing::check_eigen_pairs(t, dc, z, 200.0, 200.0));
 
   const auto stats = tridiag::stedc_last_stats();
   EXPECT_GT(stats.merges, 0);

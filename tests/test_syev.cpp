@@ -43,9 +43,10 @@ TEST_P(SyevConfigs, FullEigenpairsSolveA) {
 
   ASSERT_EQ(res.eigenvalues.size(), static_cast<size_t>(n));
   ASSERT_EQ(res.z.cols(), n);
-  EXPECT_TRUE(std::is_sorted(res.eigenvalues.begin(), res.eigenvalues.end()));
-  EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n);
-  EXPECT_LE(testing::orthogonality_error(res.z), 1e-8 * n);
+  // Inverse iteration (bisect) is looser inside clusters; the shared oracle
+  // takes a wider orthogonality threshold there.
+  const double otol = cfg.solver == eig_solver::bisect ? 1e4 : 50.0;
+  EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z, 50.0, otol));
   EXPECT_GT(res.phases.reduction_flops, 0u);
   EXPECT_GT(res.phases.reduction_seconds, 0.0);
 }
@@ -91,8 +92,8 @@ TEST_P(SyevConfigs, TwentyPercentSubset) {
   // n next to m columns).
   ASSERT_EQ(res.eigenvalues.size(), static_cast<size_t>(m));
   // The returned eigenvectors must correspond to the m smallest eigenvalues.
-  EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n);
-  EXPECT_LE(testing::orthogonality_error(res.z), 1e-8 * n);
+  const double otol = cfg.solver == eig_solver::bisect ? 1e4 : 50.0;
+  EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z, 50.0, otol));
 
   // The m eigenvalues are the smallest of the full spectrum.
   SyevOptions full_opts = opts;
@@ -185,7 +186,7 @@ TEST(Syev, TinyMatrices) {
       opts.algo = algo;
       opts.nb = 4;
       auto res = solver::syev(n, a.data(), a.ld(), opts);
-      EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-12 * (n + 1));
+      EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z));
     }
   }
 }
@@ -223,9 +224,7 @@ TEST(Syev, TinyMatricesTwoStageAllConfigs) {
                       ref.eigenvalues[static_cast<size_t>(i)], 1e-13 * (n + 1));
         if (job == jobz::vectors) {
           ASSERT_EQ(res.z.cols(), n);
-          EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues),
-                    1e-12 * (n + 1));
-          EXPECT_LE(testing::orthogonality_error(res.z), 1e-12 * (n + 1));
+          EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z));
         } else {
           EXPECT_EQ(res.z.cols(), 0);
         }
@@ -243,9 +242,7 @@ TEST(Syev, AutoNbSelectsValidTiling) {
     SyevOptions opts;
     opts.nb = 0;
     auto res = solver::syev(n, a.data(), a.ld(), opts);
-    EXPECT_LE(testing::eigen_residual(a, res.z, res.eigenvalues), 1e-10 * n)
-        << n;
-    EXPECT_LE(testing::orthogonality_error(res.z), 1e-10 * n) << n;
+    EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z)) << n;
   }
 }
 

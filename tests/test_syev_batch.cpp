@@ -1,0 +1,315 @@
+// Tests for the batched multi-problem driver: every result must be bitwise
+// identical to a sequential syev() on the same problem (the scheduler may
+// reorder and re-budget work but never change answers), and the BatchStats
+// record must be internally consistent.
+#include <cstdlib>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "solver/syev.hpp"
+#include "solver/syev_batch.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using solver::BatchProblem;
+using solver::eig_solver;
+using solver::jobz;
+using solver::method;
+using solver::syev;
+using solver::syev_batch;
+using solver::SyevBatchOptions;
+using solver::SyevBatchResult;
+using solver::SyevOptions;
+
+// Force real parallelism regardless of the host's core count (cached on
+// first use; each test source is its own binary).
+const bool forced_threads = [] {
+  setenv("TSEIG_NUM_THREADS", "4", 1);
+  return true;
+}();
+
+/// A mixed bag of problems exercising sizes 1..64, all three tridiagonal
+/// solvers, both jobz settings, both reduction methods and a subset
+/// fraction.  Matrices are owned by `storage`.
+std::vector<BatchProblem> make_mixed_batch(std::vector<Matrix>& storage,
+                                           Rng& rng) {
+  struct Spec {
+    idx n;
+    method algo;
+    eig_solver solver;
+    jobz job;
+    double fraction;
+  };
+  const std::vector<Spec> specs = {
+      {1, method::two_stage, eig_solver::dc, jobz::vectors, 1.0},
+      {2, method::one_stage, eig_solver::qr, jobz::vectors, 1.0},
+      {5, method::two_stage, eig_solver::bisect, jobz::vectors, 1.0},
+      {13, method::two_stage, eig_solver::dc, jobz::values_only, 1.0},
+      {24, method::one_stage, eig_solver::dc, jobz::vectors, 1.0},
+      {33, method::two_stage, eig_solver::qr, jobz::vectors, 1.0},
+      {40, method::two_stage, eig_solver::bisect, jobz::vectors, 0.2},
+      {48, method::two_stage, eig_solver::dc, jobz::vectors, 0.5},
+      {64, method::two_stage, eig_solver::dc, jobz::vectors, 1.0},
+      {64, method::one_stage, eig_solver::qr, jobz::values_only, 1.0},
+  };
+  std::vector<BatchProblem> batch;
+  for (const Spec& s : specs) {
+    storage.push_back(testing::random_symmetric(s.n, rng));
+    BatchProblem p;
+    p.n = s.n;
+    p.a = storage.back().data();
+    p.lda = storage.back().ld();
+    p.opts.algo = s.algo;
+    p.opts.solver = s.solver;
+    p.opts.job = s.job;
+    p.opts.fraction = s.fraction;
+    p.opts.nb = 8;
+    batch.push_back(p);
+  }
+  return batch;
+}
+
+/// Bitwise equality of a batch result entry against a sequential solve.
+void expect_bitwise_equal(const solver::SyevResult& got,
+                          const solver::SyevResult& ref, idx problem) {
+  SCOPED_TRACE("problem " + std::to_string(problem));
+  ASSERT_EQ(got.eigenvalues.size(), ref.eigenvalues.size());
+  for (size_t i = 0; i < ref.eigenvalues.size(); ++i)
+    EXPECT_EQ(got.eigenvalues[i], ref.eigenvalues[i]) << "eigenvalue " << i;
+  ASSERT_EQ(got.z.rows(), ref.z.rows());
+  ASSERT_EQ(got.z.cols(), ref.z.cols());
+  if (ref.z.cols() > 0) {
+    EXPECT_LE(testing::max_abs_diff(got.z, ref.z), 0.0);
+  }
+}
+
+TEST(SyevBatch, MatchesSequentialBitwiseAcrossWorkerCounts) {
+  std::vector<Matrix> storage;
+  Rng rng(3);
+  const std::vector<BatchProblem> batch = make_mixed_batch(storage, rng);
+
+  // Sequential references with each problem's own options.
+  std::vector<solver::SyevResult> refs;
+  for (const BatchProblem& p : batch)
+    refs.push_back(syev(p.n, p.a, p.lda, p.opts));
+
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE("workers = " + std::to_string(workers));
+    SyevBatchOptions bopts;
+    bopts.num_workers = workers;
+    const SyevBatchResult out = syev_batch(batch, bopts);
+    ASSERT_EQ(out.results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i)
+      expect_bitwise_equal(out.results[i], refs[i], static_cast<idx>(i));
+  }
+}
+
+TEST(SyevBatch, CrossoverChoiceNeverChangesResults) {
+  std::vector<Matrix> storage;
+  Rng rng(5);
+  const std::vector<BatchProblem> batch = make_mixed_batch(storage, rng);
+
+  // All-small (every problem whole-per-worker) vs all-large (every problem
+  // partitioned, one at a time with the full budget).
+  SyevBatchOptions all_small;
+  all_small.num_workers = 4;
+  all_small.crossover = 1 << 20;
+  SyevBatchOptions all_large;
+  all_large.num_workers = 4;
+  all_large.crossover = 1;  // n = 1 still counts as small; everything else not
+
+  const SyevBatchResult a = syev_batch(batch, all_small);
+  const SyevBatchResult b = syev_batch(batch, all_large);
+  EXPECT_EQ(a.stats.whole_problem_count, static_cast<idx>(batch.size()));
+  EXPECT_EQ(b.stats.partitioned_count, static_cast<idx>(batch.size() - 1));
+  for (size_t i = 0; i < batch.size(); ++i)
+    expect_bitwise_equal(a.results[i], b.results[i], static_cast<idx>(i));
+}
+
+TEST(SyevBatch, EmptyBatch) {
+  const SyevBatchResult out = syev_batch({});
+  EXPECT_TRUE(out.results.empty());
+  EXPECT_TRUE(out.stats.problems.empty());
+  EXPECT_EQ(out.stats.whole_problem_count, 0);
+  EXPECT_EQ(out.stats.partitioned_count, 0);
+  EXPECT_EQ(out.stats.total_seconds, 0.0);
+  EXPECT_EQ(out.stats.busy_seconds, 0.0);
+  EXPECT_EQ(out.stats.occupancy(), 0.0);
+}
+
+TEST(SyevBatch, SingleProblem) {
+  Rng rng(7);
+  Matrix a = testing::random_symmetric(32, rng);
+  BatchProblem p;
+  p.n = 32;
+  p.a = a.data();
+  p.lda = a.ld();
+  p.opts.nb = 8;
+  const SyevBatchResult out = syev_batch({p});
+  ASSERT_EQ(out.results.size(), 1u);
+  const auto ref = syev(p.n, p.a, p.lda, p.opts);
+  expect_bitwise_equal(out.results[0], ref, 0);
+  EXPECT_TRUE(testing::check_eigen_pairs(a, out.results[0].eigenvalues,
+                                         out.results[0].z));
+}
+
+TEST(SyevBatch, AliasedProblemsShareOneMatrix) {
+  // The input is const: the same matrix may appear in several problems
+  // under different option sets.
+  Rng rng(9);
+  Matrix a = testing::random_symmetric(40, rng);
+  const Matrix pristine = a;
+  std::vector<BatchProblem> batch(3);
+  for (BatchProblem& p : batch) {
+    p.n = 40;
+    p.a = a.data();
+    p.lda = a.ld();
+    p.opts.nb = 8;
+  }
+  batch[1].opts.solver = eig_solver::qr;
+  batch[2].opts.job = jobz::values_only;
+
+  SyevBatchOptions bopts;
+  bopts.num_workers = 4;
+  const SyevBatchResult out = syev_batch(batch, bopts);
+  EXPECT_LE(testing::max_abs_diff(a, pristine), 0.0);  // input untouched
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const auto ref = syev(batch[i].n, batch[i].a, batch[i].lda, batch[i].opts);
+    expect_bitwise_equal(out.results[i], ref, static_cast<idx>(i));
+  }
+}
+
+TEST(SyevBatch, StatsAreConsistent) {
+  std::vector<Matrix> storage;
+  Rng rng(11);
+  const std::vector<BatchProblem> batch = make_mixed_batch(storage, rng);
+
+  SyevBatchOptions bopts;
+  bopts.num_workers = 4;
+  bopts.crossover = 32;
+  const SyevBatchResult out = syev_batch(batch, bopts);
+  const auto& st = out.stats;
+
+  EXPECT_EQ(st.num_workers, 4);
+  EXPECT_EQ(st.crossover, 32);
+  ASSERT_EQ(st.problems.size(), batch.size());
+  EXPECT_EQ(st.whole_problem_count + st.partitioned_count,
+            static_cast<idx>(batch.size()));
+  EXPECT_GT(st.total_seconds, 0.0);
+  EXPECT_GT(st.busy_seconds, 0.0);
+  EXPECT_GT(st.occupancy(), 0.0);
+  EXPECT_LE(st.occupancy(), 1.0);
+
+  idx whole = 0;
+  double busy = 0.0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    const auto& p = st.problems[i];
+    EXPECT_EQ(p.n, batch[i].n);
+    EXPECT_EQ(p.whole_problem, batch[i].n <= st.crossover);
+    whole += p.whole_problem ? 1 : 0;
+    // Scheduling timeline: accepted, then started, then finished, all
+    // within the batch makespan.
+    EXPECT_GE(p.enqueue_seconds, 0.0);
+    EXPECT_LE(p.enqueue_seconds, p.start_seconds);
+    EXPECT_LE(p.start_seconds, p.end_seconds);
+    EXPECT_LE(p.end_seconds, st.total_seconds);
+    EXPECT_GE(p.queue_wait_seconds(), 0.0);
+    EXPECT_GE(p.solve_seconds(), 0.0);
+    EXPECT_GE(p.worker, 0);
+    EXPECT_LT(p.worker, st.num_workers);
+    if (!p.whole_problem) {
+      EXPECT_EQ(p.worker, 0);  // full-budget problems run on the caller
+    }
+    busy += p.solve_seconds();
+    // The per-problem phase copy must describe a real solve (tiny problems
+    // may legitimately round their reduction to zero flops).
+    if (p.n >= 16) {
+      EXPECT_GT(p.phases.reduction_flops, 0u);
+    }
+    EXPECT_GE(p.phases.total_seconds(), 0.0);
+  }
+  EXPECT_EQ(whole, st.whole_problem_count);
+  EXPECT_DOUBLE_EQ(busy, st.busy_seconds);
+}
+
+TEST(SyevBatch, PerProblemFlopsAreIsolated) {
+  // Two identical problems in one batch must report identical flop counts,
+  // equal to a sequential solve's -- concurrency must not cross-attribute
+  // work between problems (thread-local counters + pool propagation).
+  Rng rng(13);
+  Matrix a = testing::random_symmetric(48, rng);
+  BatchProblem p;
+  p.n = 48;
+  p.a = a.data();
+  p.lda = a.ld();
+  p.opts.nb = 8;
+  const auto ref = syev(p.n, p.a, p.lda, p.opts);
+
+  SyevBatchOptions bopts;
+  bopts.num_workers = 4;
+  const SyevBatchResult out = syev_batch({p, p, p, p}, bopts);
+  for (size_t i = 0; i < out.results.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    EXPECT_EQ(out.results[i].phases.reduction_flops,
+              ref.phases.reduction_flops);
+    EXPECT_EQ(out.results[i].phases.solve_flops, ref.phases.solve_flops);
+    EXPECT_EQ(out.results[i].phases.update_flops, ref.phases.update_flops);
+  }
+}
+
+TEST(SyevBatch, TraceEmitsTwoEventsPerProblem) {
+  std::vector<Matrix> storage;
+  Rng rng(15);
+  const std::vector<BatchProblem> batch = make_mixed_batch(storage, rng);
+
+  std::vector<rt::TraceEvent> trace;
+  SyevBatchOptions bopts;
+  bopts.num_workers = 2;
+  bopts.trace = &trace;
+  syev_batch(batch, bopts);
+
+  ASSERT_EQ(trace.size(), 2 * batch.size());
+  idx enqueues = 0, solves = 0;
+  for (const rt::TraceEvent& ev : trace) {
+    EXPECT_GE(ev.end_seconds, ev.start_seconds);
+    if (ev.label.rfind("batch_enqueue:", 0) == 0) {
+      EXPECT_EQ(ev.end_seconds, ev.start_seconds);  // zero-duration marker
+      ++enqueues;
+    } else if (ev.label.rfind("batch_solve:", 0) == 0) {
+      ++solves;
+    }
+  }
+  EXPECT_EQ(enqueues, static_cast<idx>(batch.size()));
+  EXPECT_EQ(solves, static_cast<idx>(batch.size()));
+}
+
+TEST(SyevBatch, RejectsMalformedProblemsBeforeSolving) {
+  Rng rng(17);
+  Matrix a = testing::random_symmetric(8, rng);
+  BatchProblem good;
+  good.n = 8;
+  good.a = a.data();
+  good.lda = a.ld();
+
+  BatchProblem empty = good;
+  empty.n = 0;
+  EXPECT_THROW(syev_batch({good, empty}), invalid_argument);
+
+  BatchProblem null_a = good;
+  null_a.a = nullptr;
+  EXPECT_THROW(syev_batch({null_a, good}), invalid_argument);
+
+  BatchProblem bad_lda = good;
+  bad_lda.lda = 4;
+  EXPECT_THROW(syev_batch({good, bad_lda}), invalid_argument);
+}
+
+}  // namespace
+}  // namespace tseig

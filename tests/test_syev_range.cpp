@@ -42,8 +42,8 @@ TEST_P(RangeMethods, IndexRangeMatchesFullSpectrum) {
   for (idx j = 0; j < 16; ++j)
     EXPECT_NEAR(sub.eigenvalues[static_cast<size_t>(j)],
                 full.eigenvalues[static_cast<size_t>(10 + j)], 1e-10 * n);
-  EXPECT_LE(testing::eigen_residual(a, sub.z, sub.eigenvalues), 1e-10 * n);
-  EXPECT_LE(testing::orthogonality_error(sub.z), 1e-8 * n);
+  // Inverse iteration: looser orthogonality allowance inside clusters.
+  EXPECT_TRUE(testing::check_eigen_pairs(a, sub.eigenvalues, sub.z, 50.0, 1e4));
 }
 
 TEST_P(RangeMethods, ValueRangeSelectsInterval) {
@@ -65,7 +65,7 @@ TEST_P(RangeMethods, ValueRangeSelectsInterval) {
   for (idx j = 0; j < 10; ++j)
     EXPECT_NEAR(sub.eigenvalues[static_cast<size_t>(j)],
                 static_cast<double>(11 + j), 1e-9 * n);
-  EXPECT_LE(testing::eigen_residual(a, sub.z, sub.eigenvalues), 1e-9 * n);
+  EXPECT_TRUE(testing::check_eigen_pairs(a, sub.eigenvalues, sub.z, 50.0, 1e4));
 }
 
 TEST_P(RangeMethods, EmptyValueRangeGivesNoPairs) {
@@ -119,7 +119,7 @@ TEST_P(RangeMethods, SingleEigenpair) {
   opts.iu = n - 1;  // largest eigenpair only
   auto sub = syev(n, a.data(), a.ld(), opts);
   ASSERT_EQ(sub.z.cols(), 1);
-  EXPECT_LE(testing::eigen_residual(a, sub.z, sub.eigenvalues), 1e-10 * n);
+  EXPECT_TRUE(testing::check_eigen_pairs(a, sub.eigenvalues, sub.z));
 }
 
 TEST_P(RangeMethods, BadRangesThrow) {

@@ -118,29 +118,10 @@ TEST_P(SygvMethods, GeneralizedResidualAndBOrthogonality) {
   opts.nb = 16;
   auto res = solver::sygv(n, a.data(), a.ld(), b.data(), b.ld(), opts);
 
-  // ||A x - lambda B x|| small for every pair.
-  Matrix ax(n, n), bx(n, n);
-  blas::gemm(op::none, op::none, n, n, n, 1.0, a.data(), a.ld(),
-             res.z.data(), res.z.ld(), 0.0, ax.data(), ax.ld());
-  blas::gemm(op::none, op::none, n, n, n, 1.0, b.data(), b.ld(),
-             res.z.data(), res.z.ld(), 0.0, bx.data(), bx.ld());
-  const double scale =
-      lapack::lansy(lapack::norm::one, uplo::lower, n, a.data(), a.ld()) +
-      lapack::lansy(lapack::norm::one, uplo::lower, n, b.data(), b.ld());
-  for (idx j = 0; j < n; ++j)
-    for (idx i = 0; i < n; ++i)
-      EXPECT_NEAR(ax(i, j),
-                  res.eigenvalues[static_cast<size_t>(j)] * bx(i, j),
-                  1e-12 * n * scale)
-          << i << "," << j;
-
-  // X^T B X == I.
-  Matrix xtbx(n, n);
-  blas::gemm(op::trans, op::none, n, n, n, 1.0, res.z.data(), res.z.ld(),
-             bx.data(), bx.ld(), 0.0, xtbx.data(), xtbx.ld());
-  for (idx j = 0; j < n; ++j)
-    for (idx i = 0; i < n; ++i)
-      EXPECT_NEAR(xtbx(i, j), i == j ? 1.0 : 0.0, 1e-11 * n);
+  // ||A X - B X Lambda|| small and X^T B X == I, via the shared scaled
+  // oracles (B-orthonormality replaces plain orthonormality here).
+  EXPECT_TRUE(testing::check_generalized_eigen_pairs(a, b, res.eigenvalues,
+                                                     res.z));
 }
 
 TEST_P(SygvMethods, KnownGeneralizedSpectrum) {
@@ -199,16 +180,10 @@ TEST_P(SygvMethods, SubsetFraction) {
   opts.nb = 16;
   auto res = solver::sygv(n, a.data(), a.ld(), b.data(), b.ld(), opts);
   ASSERT_EQ(res.z.cols(), n / 5);
-  Matrix ax(n, res.z.cols()), bx(n, res.z.cols());
-  blas::gemm(op::none, op::none, n, res.z.cols(), n, 1.0, a.data(), a.ld(),
-             res.z.data(), res.z.ld(), 0.0, ax.data(), ax.ld());
-  blas::gemm(op::none, op::none, n, res.z.cols(), n, 1.0, b.data(), b.ld(),
-             res.z.data(), res.z.ld(), 0.0, bx.data(), bx.ld());
-  for (idx j = 0; j < res.z.cols(); ++j)
-    for (idx i = 0; i < n; ++i)
-      EXPECT_NEAR(ax(i, j),
-                  res.eigenvalues[static_cast<size_t>(j)] * bx(i, j),
-                  1e-9 * n * n);
+  // Subset through the bisect/inverse-iteration path: looser B-orthogonality
+  // allowance, same shared oracle.
+  EXPECT_TRUE(testing::check_generalized_eigen_pairs(a, b, res.eigenvalues,
+                                                     res.z, 50.0, 1e4));
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, SygvMethods,
