@@ -1,0 +1,42 @@
+#!/bin/sh
+# Runs clang-tidy (config: .clang-tidy at the repo root) over the runtime
+# and two-stage sources using the compile_commands.json of an existing or
+# freshly configured build tree.  Advisory by default -- pass --strict to
+# exit non-zero on any finding (the CI lint job stays non-blocking either
+# way via continue-on-error).
+#
+# Usage: scripts/run_tidy.sh [--strict] [build-dir]   (default: build-tidy)
+set -e
+cd "$(dirname "$0")/.."
+
+STRICT=0
+if [ "$1" = "--strict" ]; then
+  STRICT=1
+  shift
+fi
+BUILD=${1:-build-tidy}
+
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY not found; skipping lint (install clang-tidy to run)" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD/compile_commands.json" ]; then
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+    -DTSEIG_NATIVE=OFF
+fi
+
+FILES=$(find src/runtime src/twostage src/tridiag src/solver -name '*.cpp' | sort)
+STATUS=0
+for f in $FILES; do
+  echo "== $TIDY $f"
+  "$TIDY" -p "$BUILD" --quiet "$f" || STATUS=1
+done
+
+if [ "$STRICT" = "1" ]; then
+  exit $STATUS
+fi
+exit 0

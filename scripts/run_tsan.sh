@@ -20,5 +20,5 @@ cmake -B "$BUILD" -S . \
 cmake --build "$BUILD" -j \
   --target test_runtime test_thread_pool test_parallel_stress \
            test_stedc_parallel test_sy2sb test_sb2st test_q2_apply \
-           test_concurrent_clients
+           test_validate test_concurrent_clients
 ctest --test-dir "$BUILD" --output-on-failure -L tsan

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Builds the whole project with UndefinedBehaviorSanitizer
+# (TSEIG_SANITIZE=undefined, non-recoverable so any report fails the test)
+# and runs the tier-1 suite.  Set TSEIG_SANITIZE=address,undefined for the
+# combined ASan+UBSan pass the nightly CI matrix uses.
+#
+# Usage: scripts/run_ubsan.sh [build-dir]   (default: build-ubsan)
+set -e
+cd "$(dirname "$0")/.."
+BUILD=${1:-build-ubsan}
+SAN=${TSEIG_SANITIZE:-undefined}
+
+cmake -B "$BUILD" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DTSEIG_SANITIZE="$SAN" \
+  -DTSEIG_NATIVE=OFF
+cmake --build "$BUILD" -j
+ctest --test-dir "$BUILD" --output-on-failure -L tier1

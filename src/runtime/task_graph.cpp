@@ -1,13 +1,17 @@
 #include "runtime/task_graph.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <mutex>
 #include <queue>
+#include <sstream>
+#include <thread>
 
 #include "common/timer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 
 namespace tseig::rt {
 namespace {
@@ -26,9 +30,50 @@ struct GraphWorkerGuard {
   ~GraphWorkerGuard() { tl_graph_worker = saved; }
 };
 
+/// Installs the dynamic-checker context for one task body (see
+/// validate.hpp); no-op when the graph is not validating.
+struct ActiveTaskGuard {
+  bool installed;
+  detail::ActiveTask at;
+  ActiveTaskGuard(bool validate, const std::vector<Access>* accesses,
+                  const std::string* label, idx id, const RegionMap* map)
+      : installed(validate) {
+    if (!installed) return;
+    at.accesses = accesses;
+    at.label = label;
+    at.task_id = id;
+    at.map = map;
+    detail::tl_active_task = &at;
+  }
+  ~ActiveTaskGuard() {
+    if (installed) detail::tl_active_task = nullptr;
+  }
+};
+
 }  // namespace
 
+namespace detail {
+
+void region_key_out_of_range(std::uint32_t tag, std::uint32_t i,
+                             std::uint32_t j) {
+  std::ostringstream os;
+  os << "region_key: field out of range: tag=" << tag << " (max "
+     << ((1u << kRegionTagBits) - 1) << "), i=" << i << ", j=" << j
+     << " (max " << ((1u << kRegionCoordBits) - 1) << ")";
+  throw invalid_argument(os.str());
+}
+
+}  // namespace detail
+
 int TaskGraph::current_worker() { return tl_graph_worker; }
+
+TaskGraph::TaskGraph() {
+  const ValidationConfig c = validation_config();
+  validate_ = c.validate;
+  fuzz_ = c.fuzz;
+  fuzz_seed_ = c.fuzz_seed;
+  serial_elision_ = c.serial_elision;
+}
 
 void TaskGraph::add_edge(idx from, idx to) {
   if (from == to || from < 0) return;
@@ -42,6 +87,13 @@ void TaskGraph::add_edge(idx from, idx to) {
   ++edge_count_;
 }
 
+void TaskGraph::add_dependency(idx before, idx after) {
+  require(before >= 0 && before < size() && after >= 0 && after < size() &&
+              before != after,
+          "TaskGraph::add_dependency: invalid task id pair");
+  add_edge(before, after);
+}
+
 idx TaskGraph::submit(std::function<void()> fn,
                       const std::vector<Access>& accesses,
                       const Options& opts) {
@@ -51,6 +103,7 @@ idx TaskGraph::submit(std::function<void()> fn,
   t.priority = opts.priority;
   t.worker_hint = opts.worker_hint;
   t.label = opts.label;
+  if (validate_) t.accesses = accesses;
   tasks_.push_back(std::move(t));
 
   for (const Access& a : accesses) {
@@ -70,6 +123,37 @@ idx TaskGraph::submit(std::function<void()> fn,
   return id;
 }
 
+void TaskGraph::run_elided() {
+  // Serial elision: submission order satisfies every hazard edge by
+  // construction (submit() only derives earlier -> later edges), so running
+  // the tasks in that order on the calling thread is a valid schedule --
+  // the oracle fuzzed parallel runs are compared against.
+  GraphWorkerGuard guard(0);
+  WallTimer clock;
+  std::exception_ptr first_error;
+  for (idx id = 0; id < static_cast<idx>(tasks_.size()); ++id) {
+    Task& t = tasks_[static_cast<size_t>(id)];
+    const double t0 = clock.seconds();
+    {
+      ActiveTaskGuard active(validate_, &t.accesses, &t.label, id,
+                             region_map_);
+      try {
+        t.fn();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (tracing_) trace_.push_back({t.label, 0, t0, clock.seconds()});
+  }
+  tasks_.clear();
+  regions_.clear();
+  edge_count_ = 0;
+  if (first_error) {
+    trace_.clear();
+    std::rethrow_exception(first_error);
+  }
+}
+
 void TaskGraph::run(int num_workers) {
   num_workers = resolve_num_workers(num_workers);
   // Nested graph (a task of an outer graph runs a graph of its own):
@@ -77,6 +161,23 @@ void TaskGraph::run(int num_workers) {
   // own the machine.
   if (ThreadPool::in_parallel_region()) num_workers = 1;
   trace_.clear();
+
+  if (validate_) {
+    try {
+      GraphValidator::check(*this);
+    } catch (...) {
+      // Validation failures leave the graph cleared and reusable, exactly
+      // like a task exception.
+      tasks_.clear();
+      regions_.clear();
+      edge_count_ = 0;
+      throw;
+    }
+  }
+  if (serial_elision_) {
+    run_elided();
+    return;
+  }
 
   struct ReadyEntry {
     int priority;
@@ -91,17 +192,33 @@ void TaskGraph::run(int num_workers) {
   std::mutex mu;
   std::condition_variable cv;
   std::priority_queue<ReadyEntry> shared_ready;
+  // Fuzz mode replaces the priority queue with seeded random popping.
+  std::vector<idx> fuzz_ready;
   // Per-worker FIFO queues for pinned tasks.
   std::vector<std::queue<idx>> pinned(static_cast<size_t>(num_workers));
   idx remaining = static_cast<idx>(tasks_.size());
+  idx executing = 0;    // bodies currently running (deadlock detection)
+  bool deadlocked = false;
   std::exception_ptr first_error;
   WallTimer clock;
+  // xorshift64 over the fuzz seed; all draws happen under `mu`, so the
+  // sequence of scheduling decisions is a deterministic function of the
+  // seed and the (timing-dependent) draw interleaving.
+  std::uint64_t rng_state = fuzz_seed_ * 0x9E3779B97F4A7C15ull + 0xDA3E39CB94B95BDBull;
+  auto rng_next = [&rng_state] {  // caller holds mu
+    rng_state ^= rng_state << 13;
+    rng_state ^= rng_state >> 7;
+    rng_state ^= rng_state << 17;
+    return rng_state;
+  };
 
   auto enqueue_ready = [&](idx id) {
     // Caller holds `mu`.
     Task& t = tasks_[static_cast<size_t>(id)];
     if (t.worker_hint >= 0) {
       pinned[static_cast<size_t>(t.worker_hint % num_workers)].push(id);
+    } else if (fuzz_) {
+      fuzz_ready.push_back(id);
     } else {
       shared_ready.push({t.priority, id, id});
     }
@@ -126,29 +243,64 @@ void TaskGraph::run(int num_workers) {
       if (!mine.empty()) {
         id = mine.front();
         mine.pop();
-      } else if (!shared_ready.empty()) {
+      } else if (fuzz_ && !fuzz_ready.empty()) {
+        const size_t r = static_cast<size_t>(rng_next() % fuzz_ready.size());
+        id = fuzz_ready[r];
+        fuzz_ready[r] = fuzz_ready.back();
+        fuzz_ready.pop_back();
+      } else if (!fuzz_ && !shared_ready.empty()) {
         id = shared_ready.top().task;
         shared_ready.pop();
       } else {
-        if (remaining == 0) return;
+        if (remaining == 0 || deadlocked) return;
+        // Nothing ready anywhere and nothing running: the rest of the graph
+        // is unreachable (a manual-edge cycle).  Without this check every
+        // worker would wait on `cv` forever.
+        bool any_pinned = false;
+        for (const auto& q : pinned)
+          if (!q.empty()) {
+            any_pinned = true;
+            break;
+          }
+        if (!any_pinned && executing == 0) {
+          deadlocked = true;
+          if (!first_error)
+            first_error = std::make_exception_ptr(validation_error(
+                "TaskGraph::run: deadlock -- tasks remain but none are "
+                "ready (dependency cycle)"));
+          cv.notify_all();
+          return;
+        }
         cv.wait(lock);
         continue;
       }
 
       Task& t = tasks_[static_cast<size_t>(id)];
+      ++executing;
+      const int delay_us =
+          fuzz_ ? static_cast<int>(rng_next() % 200) : 0;
       lock.unlock();
+      // Fuzzed runs stagger task starts to widen the interleavings TSan and
+      // the dynamic checker observe.
+      if (delay_us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
       const double t0 = clock.seconds();
-      try {
-        t.fn();
-      } catch (...) {
-        lock.lock();
-        if (!first_error) first_error = std::current_exception();
-        // Keep draining: successors of a failed task still release so the
-        // run terminates; results are discarded because run() rethrows.
-        lock.unlock();
+      {
+        ActiveTaskGuard active(validate_, &t.accesses, &t.label, id,
+                               region_map_);
+        try {
+          t.fn();
+        } catch (...) {
+          lock.lock();
+          if (!first_error) first_error = std::current_exception();
+          // Keep draining: successors of a failed task still release so the
+          // run terminates; results are discarded because run() rethrows.
+          lock.unlock();
+        }
       }
       const double t1 = clock.seconds();
       lock.lock();
+      --executing;
       if (tracing_) {
         trace_.push_back({t.label, worker_id, t0, t1});
       }
@@ -179,7 +331,10 @@ void TaskGraph::run(int num_workers) {
   tasks_.clear();
   regions_.clear();
   edge_count_ = 0;
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    trace_.clear();
+    std::rethrow_exception(first_error);
+  }
 }
 
 }  // namespace tseig::rt

@@ -32,6 +32,9 @@
 
 namespace tseig::rt {
 
+class RegionMap;      // validate.hpp: region_key -> byte-footprint registry
+class GraphValidator; // validate.hpp: static/dynamic hazard validation
+
 /// Access mode of a task on a region.
 enum class access : std::uint8_t { read, write };
 
@@ -46,6 +49,26 @@ struct Access {
 constexpr std::uint32_t kRegionTagBits = 8;
 constexpr std::uint32_t kRegionCoordBits = 28;
 
+/// Compile-time predicate: true when (tag, i, j) fits region_key's packed
+/// fields.  Use directly in static_assert at constexpr call sites --
+/// `static_assert(region_key_in_range(t, i, j))` fails with the predicate
+/// name instead of an opaque "expression did not evaluate to a constant".
+constexpr bool region_key_in_range(std::uint32_t tag, std::uint32_t i,
+                                   std::uint32_t j) {
+  return tag < (1u << kRegionTagBits) && i < (1u << kRegionCoordBits) &&
+         j < (1u << kRegionCoordBits);
+}
+
+namespace detail {
+/// Runtime failure path of region_key: throws invalid_argument with the
+/// offending tag/i/j values spelled out.  Deliberately *not* constexpr:
+/// reaching it during constant evaluation is a compile error whose message
+/// names this function, which is as close to a static_assert as a constexpr
+/// function can get without losing the formatted runtime diagnostic.
+[[noreturn]] void region_key_out_of_range(std::uint32_t tag, std::uint32_t i,
+                                          std::uint32_t j);
+}  // namespace detail
+
 /// Builds a region key from a tag and two coordinates (e.g. tile indices or
 /// sweep/block indices).  Tags keep different arrays' keys disjoint.  The
 /// fields are disjoint bit ranges, so distinct in-range triples always map
@@ -54,9 +77,8 @@ constexpr std::uint32_t kRegionCoordBits = 28;
 /// dependence edges).
 constexpr std::uint64_t region_key(std::uint32_t tag, std::uint32_t i,
                                    std::uint32_t j) {
-  require(tag < (1u << kRegionTagBits) && i < (1u << kRegionCoordBits) &&
-              j < (1u << kRegionCoordBits),
-          "region_key: tag or coordinate out of field range");
+  if (!region_key_in_range(tag, i, j))
+    detail::region_key_out_of_range(tag, i, j);
   return (static_cast<std::uint64_t>(tag) << (2 * kRegionCoordBits)) |
          (static_cast<std::uint64_t>(i) << kRegionCoordBits) |
          static_cast<std::uint64_t>(j);
@@ -98,7 +120,10 @@ public:
     const char* label = "";
   };
 
-  TaskGraph() = default;
+  /// Validation, fuzzing and serial elision default to the process-wide
+  /// rt::validation_config() (TSEIG_VALIDATE / TSEIG_FUZZ_SEED /
+  /// TSEIG_SERIAL_ELISION); the enable_* methods override per graph.
+  TaskGraph();
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
 
@@ -108,6 +133,12 @@ public:
   idx submit(std::function<void()> fn, const std::vector<Access>& accesses) {
     return submit(std::move(fn), accesses, Options());
   }
+
+  /// Adds a manual dependency edge `before -> after` on top of the derived
+  /// hazard edges (for couplings no region expresses).  Unlike hazard edges
+  /// this can point backwards in submission order and therefore create a
+  /// cycle; run() detects cycles and reports the tasks on one.
+  void add_dependency(idx before, idx after);
 
   /// Executes the whole graph on `num_workers` logical workers (>=1); 0 or
   /// negative selects default_num_threads().  The calling thread acts as
@@ -137,7 +168,43 @@ public:
   /// Trace of the last run() (empty unless tracing was enabled).
   const std::vector<TraceEvent>& trace() const { return trace_; }
 
+  /// Enables the validation mode for this graph: submit() records each
+  /// task's declared accesses, run() performs the GraphValidator cycle check
+  /// and (when a region map is attached) the static potential-race audit,
+  /// and kernels' touch_read/touch_write reports are checked against the
+  /// running task's declarations.  Must be set before the first submit() to
+  /// cover every task.  Defaults to rt::validation_config().validate.
+  void enable_validation(bool on) { validate_ = on; }
+  bool validation_enabled() const { return validate_; }
+
+  /// Attaches the region-key -> byte-footprint registry the static audit
+  /// and the dynamic checker's diagnostics resolve regions through.  The map
+  /// must outlive run().  nullptr detaches.
+  void set_region_map(const RegionMap* map) { region_map_ = map; }
+  const RegionMap* region_map() const { return region_map_; }
+
+  /// Enables the deterministic schedule fuzzer for the next run(): ready
+  /// tasks are popped in a seeded pseudo-random order instead of priority
+  /// order and a small seeded per-task delay is injected before each body,
+  /// widening the interleavings a sanitizer run observes.  Any fuzzed
+  /// schedule is still a valid topological execution of the hazard DAG, so
+  /// results must match the serial elision bitwise.
+  void enable_fuzzing(std::uint64_t seed) {
+    fuzz_ = true;
+    fuzz_seed_ = seed;
+  }
+  void disable_fuzzing() { fuzz_ = false; }
+
+  /// Forces the next run() to execute tasks on the calling thread in
+  /// submission order (the serial elision), ignoring priorities, hints and
+  /// num_workers.  Submission order satisfies every hazard edge by
+  /// construction, so this is the oracle fuzzed parallel runs are compared
+  /// against.
+  void enable_serial_elision(bool on) { serial_elision_ = on; }
+
 private:
+  friend class GraphValidator;
+
   struct Task {
     std::function<void()> fn;
     std::vector<idx> successors;
@@ -145,6 +212,8 @@ private:
     int priority = 0;
     int worker_hint = -1;
     std::string label;
+    /// Declared accesses, recorded only when validation is enabled.
+    std::vector<Access> accesses;
   };
 
   /// Hazard-tracking state per region.
@@ -154,12 +223,18 @@ private:
   };
 
   void add_edge(idx from, idx to);
+  void run_elided();
 
   std::vector<Task> tasks_;
   // Region key -> hazard state.
   std::unordered_map<std::uint64_t, RegionState> regions_;
   idx edge_count_ = 0;
   bool tracing_ = false;
+  bool validate_ = false;
+  bool fuzz_ = false;
+  bool serial_elision_ = false;
+  std::uint64_t fuzz_seed_ = 0;
+  const RegionMap* region_map_ = nullptr;
   std::vector<TraceEvent> trace_;
 };
 

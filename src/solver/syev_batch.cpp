@@ -5,13 +5,17 @@
 
 #include "common/timer.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 
 namespace tseig::solver {
 namespace {
 
 /// Region tag for batch tasks (tags 1-9 are taken by sy2sb / sb2st / q2 /
-/// stedc / tests).  Each problem writes only its own region, so the batch
-/// graph has no edges -- every task is immediately ready.
+/// stedc / tests).  Problem i's region is its *input* matrix, which syev
+/// never modifies, so every task declares a read: distinct keys mean no
+/// edges (every task is immediately ready), and the static audit accepts
+/// batches where several problems alias one matrix -- while still flagging
+/// any task that would write bytes a batch task reads.
 constexpr std::uint32_t kTagBatch = 10;
 
 /// TaskGraph priorities run highest-first; scheduling the biggest
@@ -82,14 +86,33 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
   // inner constructs regardless; passing 1 makes the plan honest).
   if (!small.empty()) {
     rt::TaskGraph g;
+    rt::RegionMap region_map;
+    if (g.validation_enabled()) {
+      // Problem i's region: the columns of its input/output matrix (lda may
+      // exceed n, so per-column intervals).
+      region_map.add_resolver(
+          kTagBatch, [&problems](std::uint32_t i, std::uint32_t) {
+            const BatchProblem& p = problems[static_cast<size_t>(i)];
+            rt::RegionExtent ext;
+            ext.add_strided(p.a, p.n,
+                            p.lda * static_cast<idx>(sizeof(double)),
+                            p.n * static_cast<idx>(sizeof(double)));
+            return ext;
+          });
+      g.set_region_map(&region_map);
+    }
     for (idx i : small) {
+      const auto bkey =
+          rt::region_key(kTagBatch, static_cast<std::uint32_t>(i), 0);
       rt::TaskGraph::Options topts;
       topts.priority = lpt_priority(problems[static_cast<size_t>(i)].n);
       topts.label = "batch_solve";
-      g.submit([&solve_into, i] { solve_into(i, 1); },
-               {rt::wr(rt::region_key(kTagBatch,
-                                      static_cast<std::uint32_t>(i), 0))},
-               topts);
+      g.submit(
+          [&solve_into, i, bkey] {
+            rt::touch_read(bkey);
+            solve_into(i, 1);
+          },
+          {rt::rd(bkey)}, topts);
     }
     g.run(static_cast<int>(std::min<idx>(budget, static_cast<idx>(small.size()))));
   }

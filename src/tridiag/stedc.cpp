@@ -14,6 +14,7 @@
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 
 namespace tseig::tridiag {
 namespace {
@@ -25,6 +26,9 @@ constexpr double kEps = std::numeric_limits<double>::epsilon();
 // Region-key tag for the column-partitioned merge GEMM (tags 1-4, 7, 8 are
 // taken by the two-stage pipeline).
 constexpr std::uint32_t kTagDcGemm = 9;
+
+// Region-key tag for one D&C tree node's (d, e) slice: key(11, off, n).
+constexpr std::uint32_t kTagDcNode = 11;
 
 // Column-block width of the parallel back-multiplication.  Wide enough that
 // each task is a real Level-3 call, narrow enough to load-balance the merges
@@ -162,19 +166,36 @@ void gemm_cols(idx rows, idx k, const Matrix& qk, const Matrix& u, Matrix& g,
   }
   rt::TaskGraph graph;
   graph.enable_tracing(ctx.trace != nullptr);
+  rt::RegionMap region_map;
+  if (graph.validation_enabled()) {
+    // Column block starting at c0 of the output G (per-column intervals).
+    region_map.add_resolver(
+        kTagDcGemm, [&g, rows, k](std::uint32_t c0, std::uint32_t) {
+          const idx lo = static_cast<idx>(c0);
+          const idx nc = std::min(kGemmColBlock, k - lo);
+          rt::RegionExtent ext;
+          ext.add_strided(g.col(lo), nc,
+                          g.ld() * static_cast<idx>(sizeof(double)),
+                          rows * static_cast<idx>(sizeof(double)));
+          return ext;
+        });
+    graph.set_region_map(&region_map);
+  }
   int hint = 0;
   for (idx c0 = 0; c0 < k; c0 += kGemmColBlock) {
     const idx nc = std::min(kGemmColBlock, k - c0);
+    const auto ckey =
+        rt::region_key(kTagDcGemm, static_cast<std::uint32_t>(c0), 0);
     rt::TaskGraph::Options opts;
     opts.worker_hint = hint++ % nw;
     opts.label = "dc_gemm";
     graph.submit(
-        [&qk, &u, &g, rows, k, c0, nc] {
+        [&qk, &u, &g, rows, k, c0, nc, ckey] {
+          rt::touch_write(ckey);
           blas::gemm(op::none, op::none, rows, nc, k, 1.0, qk.data(), qk.ld(),
                      u.col(c0), u.ld(), 0.0, g.col(c0), g.ld());
         },
-        {rt::wr(rt::region_key(kTagDcGemm, static_cast<std::uint32_t>(c0), 0))},
-        opts);
+        {rt::wr(ckey)}, opts);
   }
   const double t0 = ctx.clock.seconds();
   graph.run(nw);
@@ -463,6 +484,20 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
   std::vector<Node> nodes;
   build_tree(nodes, 0, n, 0, d, e, std::max<idx>(opts.crossover, 4));
 
+  // Region map for the level-synchronous graphs: a node's region is its
+  // (d, e) slice -- siblings within a level hold disjoint slices, which is
+  // exactly what the static audit verifies.
+  rt::RegionMap region_map;
+  region_map.add_resolver(kTagDcNode,
+                          [d, e](std::uint32_t off, std::uint32_t len) {
+                            rt::RegionExtent ext;
+                            ext.add(d + off,
+                                    static_cast<std::size_t>(len) * sizeof(double));
+                            ext.add(e + off,
+                                    static_cast<std::size_t>(len) * sizeof(double));
+                            return ext;
+                          });
+
   int max_depth = 0;
   for (const Node& nd : nodes) max_depth = std::max(max_depth, nd.depth);
   std::vector<std::vector<idx>> by_depth(static_cast<size_t>(max_depth) + 1);
@@ -487,6 +522,7 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
     if (leaves_across || merges_across) {
       rt::TaskGraph graph;
       graph.enable_tracing(ctx.trace != nullptr);
+      if (graph.validation_enabled()) graph.set_region_map(&region_map);
       auto submit = [&](idx id, const char* label, bool is_leaf) {
         Node* nd = &nodes[static_cast<size_t>(id)];
         rt::TaskGraph::Options topts;
@@ -495,8 +531,12 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
         topts.label = label;
         Node* lch = is_leaf ? nullptr : &nodes[static_cast<size_t>(nd->left)];
         Node* rch = is_leaf ? nullptr : &nodes[static_cast<size_t>(nd->right)];
+        const auto nkey =
+            rt::region_key(kTagDcNode, static_cast<std::uint32_t>(nd->off),
+                           static_cast<std::uint32_t>(nd->n));
         graph.submit(
-            [nd, lch, rch, d, e, is_leaf, &ctx] {
+            [nd, lch, rch, d, e, is_leaf, &ctx, nkey] {
+              rt::touch_write(nkey);
               if (is_leaf) {
                 solve_leaf(*nd, d, e);
               } else {
@@ -504,7 +544,7 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
                 merge_node(*nd, *lch, *rch, d, 1, ctx);
               }
             },
-            {}, topts);
+            {rt::wr(nkey)}, topts);
       };
       if (leaves_across)
         for (idx id : leaves) submit(id, "dc_leaf", true);

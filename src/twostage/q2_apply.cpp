@@ -6,9 +6,13 @@
 #include "lapack/householder.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 
 namespace tseig::twostage {
 namespace {
+
+/// Region tag of the eigenvector column blocks apply_q2 partitions E into.
+constexpr std::uint32_t kTagQ2Cols = 8;
 
 /// A precomputed diamond: the compact WY factor of `w` reflectors from
 /// consecutive sweeps at the same hop level (Figure 3b), ready to be applied
@@ -137,16 +141,39 @@ void apply_q2(op trans, const V2Factor& v2, double* e, idx lde, idx ncols,
     return;
   }
   rt::TaskGraph graph;
+  rt::RegionMap region_map;
+  const idx n_rows = v2.n();
+  if (graph.validation_enabled()) {
+    // Column block starting at column c0: full columns of E (per-column
+    // intervals; lde may exceed the row count).
+    region_map.add_resolver(
+        kTagQ2Cols, [e, lde, ncols, col_block, n_rows](std::uint32_t c0,
+                                                       std::uint32_t) {
+          const idx lo = static_cast<idx>(c0);
+          const idx nc = std::min(col_block, ncols - lo);
+          rt::RegionExtent ext;
+          ext.add_strided(e + lo * lde, nc,
+                          lde * static_cast<idx>(sizeof(double)),
+                          n_rows * static_cast<idx>(sizeof(double)));
+          return ext;
+        });
+    graph.set_region_map(&region_map);
+  }
   int hint = 0;
   for (idx c0 = 0; c0 < ncols; c0 += col_block) {
     const idx nc = std::min(col_block, ncols - c0);
+    const auto ckey =
+        rt::region_key(kTagQ2Cols, static_cast<std::uint32_t>(c0), 0);
     rt::TaskGraph::Options opts;
     // Static column ownership: block -> worker, as in Figure 3c.
     opts.worker_hint = hint++ % num_workers;
     opts.label = "q2_cols";
-    graph.submit([process_columns, c0, nc] { process_columns(c0, nc); },
-                 {rt::wr(rt::region_key(8, static_cast<std::uint32_t>(c0), 0))},
-                 opts);
+    graph.submit(
+        [process_columns, c0, nc, ckey] {
+          rt::touch_write(ckey);
+          process_columns(c0, nc);
+        },
+        {rt::wr(ckey)}, opts);
   }
   graph.run(num_workers);
 }

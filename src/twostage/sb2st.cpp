@@ -9,6 +9,7 @@
 #include "lapack/householder.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 
 namespace tseig::twostage {
 
@@ -150,6 +151,60 @@ void hbrel_hblru(const WorkBand& b, idx n, idx nb, idx r1, idx lenU,
 
 constexpr std::uint32_t kTagLattice = 7;
 
+std::uint64_t lat_key(idx s, idx c) {
+  return rt::region_key(kTagLattice, static_cast<std::uint32_t>(s),
+                        static_cast<std::uint32_t>(c));
+}
+
+/// Appends rows [ilo, ihi) of band column j (contiguous in storage).
+void add_band_col(rt::RegionExtent& e, const WorkBand& b, idx j, idx ilo,
+                  idx ihi) {
+  if (ihi <= ilo) return;
+  e.add(b.col(ilo, j), static_cast<std::size_t>(ihi - ilo) * sizeof(double));
+}
+
+/// Byte footprint of coarse lattice task (s, c): the band columns its chase
+/// hops read/write (per-column intervals -- neighboring hops interleave in
+/// the column-major band store, so bounding boxes would falsely overlap)
+/// plus the reflector slots it fills in V2Factor.
+rt::RegionExtent lattice_extent(const WorkBand& b, V2Factor& v2, idx n,
+                                idx nb, idx group, std::uint32_t s32,
+                                std::uint32_t c32) {
+  const idx s = static_cast<idx>(s32);
+  const idx c = static_cast<idx>(c32);
+  rt::RegionExtent e;
+  if (s >= v2.nsweeps()) return e;
+  const idx nbl = v2.nblocks(s);
+  const idx u0 = c * group;
+  const idx u1 = std::min(nbl, u0 + group);
+  for (idx u = u0; u < u1; ++u) {
+    if (u == 0) {
+      // hbceu: band column s below the diagonal plus the symmetric block.
+      const idx r1 = s + 1;
+      const idx len = std::min(nb, n - r1);
+      add_band_col(e, b, s, r1, r1 + len);
+      for (idx q = r1; q < r1 + len; ++q) add_band_col(e, b, q, q, r1 + len);
+    } else {
+      // hbrel/hblru: bulge block G = B(J1:J2, r1:r2) plus the next
+      // symmetric block.
+      const idx r1 = v2.start(s, u - 1);
+      const idx lenU = v2.len(s, u - 1);
+      const idx J1 = r1 + lenU;
+      const idx lenB = std::min(nb, n - J1);
+      for (idx q = r1; q < J1; ++q) add_band_col(e, b, q, J1, J1 + lenB);
+      for (idx q = J1; q < J1 + lenB; ++q)
+        add_band_col(e, b, q, q, J1 + lenB);
+    }
+  }
+  if (u1 > u0) {
+    // Reflector slots (s, u0..u1-1) are contiguous in the packed store.
+    e.add(v2.v(s, u0),
+          static_cast<std::size_t>((u1 - u0) * v2.nb()) * sizeof(double));
+    e.add(&v2.tau(s, u0), static_cast<std::size_t>(u1 - u0) * sizeof(double));
+  }
+  return e;
+}
+
 }  // namespace
 
 Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
@@ -176,17 +231,29 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
     const int num_workers = rt::resolve_num_workers(opts.num_workers);
     const bool parallel = num_workers > 1;
     rt::TaskGraph graph;
+    rt::RegionMap region_map;
+    if (parallel && graph.validation_enabled()) {
+      region_map.add_resolver(
+          kTagLattice, [&wb, &v2, n, nb, group](std::uint32_t s,
+                                                std::uint32_t c) {
+            return lattice_extent(wb, v2, n, nb, group, s, c);
+          });
+      graph.set_region_map(&region_map);
+    }
     const int w2 = opts.stage2_workers > 0
                        ? std::min(opts.stage2_workers, num_workers)
                        : num_workers;
 
+    idx submitted = 0;
     for (idx s = 0; s < v2.nsweeps(); ++s) {
       const idx nbl = v2.nblocks(s);
       const idx ncoarse = (nbl + group - 1) / group;
       for (idx c = 0; c < ncoarse; ++c) {
         const idx u0 = c * group;
         const idx u1 = std::min(nbl, u0 + group);
-        auto body = [&wb, &v2, n, nb, s, u0, u1] {
+        auto body = [&wb, &v2, n, nb, s, c, u0, u1] {
+          rt::touch_write(lat_key(s, c));
+          if (c > 0) rt::touch_read(lat_key(s, c - 1));
           std::vector<double> w(static_cast<size_t>(nb));
           for (idx u = u0; u < u1; ++u) {
             if (u == 0) {
@@ -205,20 +272,15 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
         // Functional dependences of the chase lattice (paper Section 5.2):
         // coarse task (s, c) after (s, c-1) and after (s-1, c), (s-1, c+1).
         std::vector<rt::Access> acc;
-        acc.push_back(rt::wr(rt::region_key(
-            kTagLattice, static_cast<std::uint32_t>(s),
-            static_cast<std::uint32_t>(c))));
-        if (c > 0)
-          acc.push_back(rt::rd(rt::region_key(
-              kTagLattice, static_cast<std::uint32_t>(s),
-              static_cast<std::uint32_t>(c - 1))));
+        // Fault-injection knob for validator tests: the selected task omits
+        // its write declaration, exactly the bug class the dynamic checker
+        // exists to catch.
+        if (submitted != opts.drop_write_task)
+          acc.push_back(rt::wr(lat_key(s, c)));
+        if (c > 0) acc.push_back(rt::rd(lat_key(s, c - 1)));
         if (s > 0) {
-          acc.push_back(rt::rd(rt::region_key(
-              kTagLattice, static_cast<std::uint32_t>(s - 1),
-              static_cast<std::uint32_t>(c))));
-          acc.push_back(rt::rd(rt::region_key(
-              kTagLattice, static_cast<std::uint32_t>(s - 1),
-              static_cast<std::uint32_t>(c + 1))));
+          acc.push_back(rt::rd(lat_key(s - 1, c)));
+          acc.push_back(rt::rd(lat_key(s - 1, c + 1)));
         }
         rt::TaskGraph::Options topts;
         // Early sweeps lead the pipeline; pin chase positions to the
@@ -227,6 +289,7 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
         topts.worker_hint = static_cast<int>(c % w2);
         topts.label = "chase";
         graph.submit(std::move(body), acc, topts);
+        ++submitted;
       }
     }
     if (parallel) {

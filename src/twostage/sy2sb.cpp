@@ -6,6 +6,7 @@
 #include "lapack/aux.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/validate.hpp"
 #include "twostage/tile_kernels.hpp"
 
 namespace tseig::twostage {
@@ -30,6 +31,42 @@ double* scratch(idx count) {
   if (static_cast<idx>(buf.size()) < count)
     buf.resize(static_cast<size_t>(count));
   return buf.data();
+}
+
+/// Whole-buffer footprint of a Matrix (reflector/T-factor blocks are owned
+/// allocations, so the allocation is the region).
+void add_matrix(rt::RegionExtent& e, const Matrix& m) {
+  e.add(m.data(), static_cast<std::size_t>(m.ld() * m.cols()) *
+                      sizeof(double));
+}
+
+/// Region resolvers of the stage-1 reduction for the GraphValidator's
+/// static audit: tile keys map onto the tile's contiguous block, reflector
+/// keys onto the (V, T) buffers of the panel / TS pair.
+void register_sy2sb_regions(rt::RegionMap& map, SymTileMatrix& tiles,
+                            const Q1Factor& q1) {
+  map.add_resolver(kTagTile, [&tiles](std::uint32_t i, std::uint32_t j) {
+    rt::RegionExtent e;
+    e.add(tiles.tile(static_cast<idx>(i), static_cast<idx>(j)),
+          static_cast<std::size_t>(tiles.rows_of(static_cast<idx>(i)) *
+                                   tiles.cols_of(static_cast<idx>(j))) *
+              sizeof(double));
+    return e;
+  });
+  map.add_resolver(kTagVg, [&q1](std::uint32_t j, std::uint32_t) {
+    rt::RegionExtent e;
+    add_matrix(e, q1.vg[j]);
+    add_matrix(e, q1.tg[j]);
+    return e;
+  });
+  map.add_resolver(kTagVts, [&q1](std::uint32_t i, std::uint32_t j) {
+    const auto tsi = static_cast<size_t>(
+        q1.ts_index(static_cast<idx>(i), static_cast<idx>(j)));
+    rt::RegionExtent e;
+    add_matrix(e, q1.vts[tsi]);
+    add_matrix(e, q1.tts[tsi]);
+    return e;
+  });
 }
 
 }  // namespace
@@ -67,14 +104,21 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
 
   rt::TaskGraph graph;
   const bool parallel = num_workers > 1;
+  rt::RegionMap region_map;
+  if (parallel && graph.validation_enabled()) {
+    register_sy2sb_regions(region_map, tiles, q1);
+    graph.set_region_map(&region_map);
+  }
   // In sequential mode run each "task" immediately; in parallel mode submit
   // to the hazard-tracking graph.  Both paths execute the identical kernel
   // sequence, which tests exploit.
   auto run = [&](std::function<void()> fn,
-                 const std::vector<rt::Access>& accesses, int priority) {
+                 const std::vector<rt::Access>& accesses, int priority,
+                 const char* label) {
     if (parallel) {
       rt::TaskGraph::Options opts;
       opts.priority = priority;
+      opts.label = label;
       graph.submit(std::move(fn), accesses, opts);
     } else {
       fn();
@@ -92,27 +136,36 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
     // --- Panel: GEQRT on tile (j+1, j). ---
     run(
         [&tiles, &vgj, &tgj, j, m1, kj, nb] {
+          rt::touch_write(tile_key(j + 1, j));
+          rt::touch_write(
+              rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0));
           double* work = scratch(nb);
           geqrt(m1, nb, tiles.tile(j + 1, j), m1, vgj.data(), vgj.ld(),
                 tgj.data(), tgj.ld(), work);
         },
         {rt::wr(tile_key(j + 1, j)),
          rt::wr(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0))},
-        /*priority=*/3);
+        /*priority=*/3, "geqrt");
 
     // --- Two-sided application of the GEQRT reflector. ---
     run(
         [&tiles, &vgj, &tgj, j, m1, kj] {
+          rt::touch_read(
+              rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0));
+          rt::touch_write(tile_key(j + 1, j + 1));
           double* work = scratch(m1 * m1 + m1 * kj);
           syrfb(m1, kj, vgj.data(), vgj.ld(), tgj.data(), tgj.ld(),
                 tiles.tile(j + 1, j + 1), m1, work);
         },
         {rt::rd(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0)),
          rt::wr(tile_key(j + 1, j + 1))},
-        /*priority=*/2);
+        /*priority=*/2, "syrfb");
     for (idx k = j + 2; k < nt; ++k) {
       run(
           [&tiles, &vgj, &tgj, j, k, m1, kj] {
+            rt::touch_read(
+                rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0));
+            rt::touch_write(tile_key(k, j + 1));
             const idx mk = tiles.rows_of(k);
             double* work = scratch(mk * kj);
             ormqr_tile(side::right, op::none, mk, m1, kj, vgj.data(),
@@ -121,7 +174,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
           },
           {rt::rd(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0)),
            rt::wr(tile_key(k, j + 1))},
-          /*priority=*/1);
+          /*priority=*/1, "ormqr");
     }
 
     // --- Flat TSQRT tree coupling tile (j+1, j) with each tile below. ---
@@ -133,8 +186,14 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
       vts.reshape(m2, nb);
       tts.reshape(nb, nb);
 
+      const auto vkey = rt::region_key(kTagVts, static_cast<std::uint32_t>(i),
+                                       static_cast<std::uint32_t>(j));
+
       run(
-          [&tiles, &vts, &tts, i, j, m1, m2, nb] {
+          [&tiles, &vts, &tts, i, j, m1, m2, nb, vkey] {
+            rt::touch_write(tile_key(j + 1, j));
+            rt::touch_write(tile_key(i, j));
+            rt::touch_write(vkey);
             double* work = scratch(nb);
             tsqrt(m2, nb, tiles.tile(j + 1, j), m1, tiles.tile(i, j), m2,
                   tts.data(), tts.ld(), work);
@@ -143,16 +202,16 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
             lapack::lacpy(m2, nb, tiles.tile(i, j), m2, vts.data(), vts.ld());
           },
           {rt::wr(tile_key(j + 1, j)), rt::wr(tile_key(i, j)),
-           rt::wr(rt::region_key(kTagVts, static_cast<std::uint32_t>(i),
-                                 static_cast<std::uint32_t>(j)))},
-          /*priority=*/3);
-
-      const auto vkey = rt::region_key(kTagVts, static_cast<std::uint32_t>(i),
-                                       static_cast<std::uint32_t>(j));
+           rt::wr(vkey)},
+          /*priority=*/3, "tsqrt");
 
       // Corner: tiles (j+1, j+1), (i, j+1), (i, i).
       run(
-          [&tiles, &vts, &tts, i, j, m1, m2, nb] {
+          [&tiles, &vts, &tts, i, j, m1, m2, nb, vkey] {
+            rt::touch_read(vkey);
+            rt::touch_write(tile_key(j + 1, j + 1));
+            rt::touch_write(tile_key(i, j + 1));
+            rt::touch_write(tile_key(i, i));
             const idx m = m1 + m2;
             double* work = scratch(m * m + m * nb);
             tsmqr_corner(m1, m2, vts.data(), vts.ld(), tts.data(), tts.ld(),
@@ -161,7 +220,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
           },
           {rt::rd(vkey), rt::wr(tile_key(j + 1, j + 1)),
            rt::wr(tile_key(i, j + 1)), rt::wr(tile_key(i, i))},
-          /*priority=*/2);
+          /*priority=*/2, "tsmqr_corner");
 
       // Remaining pairs in the trailing submatrix.
       for (idx k2 = j + 2; k2 < nt; ++k2) {
@@ -169,7 +228,10 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
         if (k2 > i) {
           // Right update of the stored pair (k2, j+1), (k2, i).
           run(
-              [&tiles, &vts, &tts, i, j, k2, m1, m2, nb] {
+              [&tiles, &vts, &tts, i, j, k2, m1, m2, nb, vkey] {
+                rt::touch_read(vkey);
+                rt::touch_write(tile_key(k2, j + 1));
+                rt::touch_write(tile_key(k2, i));
                 const idx mk = tiles.rows_of(k2);
                 double* work = scratch(mk * m1);
                 tsmqr_right(op::none, mk, m1, m2, vts.data(), vts.ld(),
@@ -178,12 +240,15 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
               },
               {rt::rd(vkey), rt::wr(tile_key(k2, j + 1)),
                rt::wr(tile_key(k2, i))},
-              /*priority=*/1);
+              /*priority=*/1, "tsmqr_right");
         } else {
           // Left update where the block-row-(j+1) tile is stored transposed
           // (the symmetric-layout "hetra" case).
           run(
-              [&tiles, &vts, &tts, i, j, k2, m1, m2, nb] {
+              [&tiles, &vts, &tts, i, j, k2, m1, m2, nb, vkey] {
+                rt::touch_read(vkey);
+                rt::touch_write(tile_key(k2, j + 1));
+                rt::touch_write(tile_key(i, k2));
                 const idx mk = tiles.rows_of(k2);
                 double* work = scratch(2 * m1 * mk);
                 tsmqr_left_hetra(op::trans, mk, m1, m2, vts.data(), vts.ld(),
@@ -193,7 +258,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
               },
               {rt::rd(vkey), rt::wr(tile_key(k2, j + 1)),
                rt::wr(tile_key(i, k2))},
-              /*priority=*/1);
+              /*priority=*/1, "tsmqr_left");
         }
       }
     }
@@ -233,15 +298,37 @@ void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
   rt::TaskGraph graph;
 
   const idx ncb = (ncols + col_block - 1) / col_block;
+  rt::RegionMap region_map;
+  if (parallel && graph.validation_enabled()) {
+    // Row-block r x column-block cb of G: per-column intervals (a bounding
+    // box would falsely overlap other row blocks interleaved in the
+    // column-major storage).
+    region_map.add_resolver(
+        kTagG, [&q1, g, ldg, ncols, col_block, nb](std::uint32_t r,
+                                                   std::uint32_t cb) {
+          const idx c0 = static_cast<idx>(cb) * col_block;
+          const idx nc = std::min(col_block, ncols - c0);
+          rt::RegionExtent e;
+          e.add_strided(g + static_cast<idx>(r) * nb + c0 * ldg, nc,
+                        ldg * static_cast<idx>(sizeof(double)),
+                        q1.rows_of(static_cast<idx>(r)) *
+                            static_cast<idx>(sizeof(double)));
+          return e;
+        });
+    graph.set_region_map(&region_map);
+  }
+  auto g_key = [](idx r, idx cb) {
+    return rt::region_key(kTagG, static_cast<std::uint32_t>(r),
+                          static_cast<std::uint32_t>(cb));
+  };
   auto run = [&](std::function<void()> fn, std::initializer_list<idx> rows,
-                 idx cb) {
+                 idx cb, const char* label) {
     if (parallel) {
       std::vector<rt::Access> acc;
-      for (idx r : rows)
-        acc.push_back(rt::wr(rt::region_key(kTagG,
-                                            static_cast<std::uint32_t>(r),
-                                            static_cast<std::uint32_t>(cb))));
-      graph.submit(std::move(fn), acc);
+      for (idx r : rows) acc.push_back(rt::wr(g_key(r, cb)));
+      rt::TaskGraph::Options opts;
+      opts.label = label;
+      graph.submit(std::move(fn), acc, opts);
     } else {
       fn();
     }
@@ -260,26 +347,29 @@ void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
           const Matrix& v2 = q1.vts[static_cast<size_t>(tsi)];
           const Matrix& t2 = q1.tts[static_cast<size_t>(tsi)];
           run(
-              [&, i, j, c0, nc] {
+              [&, i, j, c0, nc, cb] {
+                rt::touch_write(g_key(j + 1, cb));
+                rt::touch_write(g_key(i, cb));
                 double* work = scratch(nb * nc);
                 tsmqr_left(op::none, nc, nb, q1.rows_of(i), v2.data(),
                            v2.ld(), t2.data(), t2.ld(),
                            g + (j + 1) * nb + c0 * ldg, ldg,
                            g + i * nb + c0 * ldg, ldg, work);
               },
-              {j + 1, i}, cb);
+              {j + 1, i}, cb, "q1_tsmqr");
         }
         const Matrix& vgj = q1.vg[static_cast<size_t>(j)];
         const Matrix& tgj = q1.tg[static_cast<size_t>(j)];
         run(
-            [&, j, c0, nc] {
+            [&, j, c0, nc, cb] {
+              rt::touch_write(g_key(j + 1, cb));
               const idx kj = q1.kk(j);
               double* work = scratch(kj * nc);
               ormqr_tile(side::left, op::none, q1.rows_of(j + 1), nc, kj,
                          vgj.data(), vgj.ld(), tgj.data(), tgj.ld(),
                          g + (j + 1) * nb + c0 * ldg, ldg, work);
             },
-            {j + 1}, cb);
+            {j + 1}, cb, "q1_ormqr");
       }
     } else {
       // G <- Q1^T G = Q_{nt-2}^T (... (Q_0^T G)).
@@ -287,27 +377,30 @@ void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
         const Matrix& vgj = q1.vg[static_cast<size_t>(j)];
         const Matrix& tgj = q1.tg[static_cast<size_t>(j)];
         run(
-            [&, j, c0, nc] {
+            [&, j, c0, nc, cb] {
+              rt::touch_write(g_key(j + 1, cb));
               const idx kj = q1.kk(j);
               double* work = scratch(kj * nc);
               ormqr_tile(side::left, op::trans, q1.rows_of(j + 1), nc, kj,
                          vgj.data(), vgj.ld(), tgj.data(), tgj.ld(),
                          g + (j + 1) * nb + c0 * ldg, ldg, work);
             },
-            {j + 1}, cb);
+            {j + 1}, cb, "q1_ormqr");
         for (idx i = j + 2; i < nt; ++i) {
           const idx tsi = q1.ts_index(i, j);
           const Matrix& v2 = q1.vts[static_cast<size_t>(tsi)];
           const Matrix& t2 = q1.tts[static_cast<size_t>(tsi)];
           run(
-              [&, i, j, c0, nc] {
+              [&, i, j, c0, nc, cb] {
+                rt::touch_write(g_key(j + 1, cb));
+                rt::touch_write(g_key(i, cb));
                 double* work = scratch(nb * nc);
                 tsmqr_left(op::trans, nc, nb, q1.rows_of(i), v2.data(),
                            v2.ld(), t2.data(), t2.ld(),
                            g + (j + 1) * nb + c0 * ldg, ldg,
                            g + i * nb + c0 * ldg, ldg, work);
               },
-              {j + 1, i}, cb);
+              {j + 1, i}, cb, "q1_tsmqr");
         }
       }
     }

@@ -2,6 +2,7 @@
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -96,15 +97,16 @@ TEST_P(RuntimeWorkers, SequentialConsistencyOnRandomGraph) {
     ops.push_back(o);
   }
 
-  // Serial oracle.
-  std::vector<long long> serial(kRegions);
+  // Serial oracle.  The mixing recurrence overflows quickly by design;
+  // unsigned arithmetic keeps the wrap-around well defined (UBSan-clean).
+  std::vector<unsigned long long> serial(kRegions);
   std::iota(serial.begin(), serial.end(), 1);
   for (const Op& o : ops)
     serial[static_cast<size_t>(o.dst)] =
         serial[static_cast<size_t>(o.src1)] + 3 * serial[static_cast<size_t>(o.src2)] + 1;
 
   // Parallel run.
-  std::vector<long long> state(kRegions);
+  std::vector<unsigned long long> state(kRegions);
   std::iota(state.begin(), state.end(), 1);
   TaskGraph g;
   for (const Op& o : ops) {
@@ -184,6 +186,9 @@ TEST(Runtime, TracingRecordsWorkerAssignment) {
 
 TEST(Runtime, PriorityOrdersReadyTasksOnOneWorker) {
   TaskGraph g;
+  // This test asserts the priority queue's pop order, which schedule
+  // fuzzing (TSEIG_FUZZ_SEED) deliberately randomizes -- pin the scheduler.
+  g.disable_fuzzing();
   std::vector<int> log;
   for (int i = 0; i < 6; ++i) {
     TaskGraph::Options opts;
@@ -199,6 +204,7 @@ TEST(Runtime, PriorityOrdersReadyTasksOnOneWorker) {
 
 TEST(Runtime, EqualPriorityPreservesSubmissionOrder) {
   TaskGraph g;
+  g.disable_fuzzing();  // asserts FIFO pop order; see previous test
   std::vector<int> log;
   for (int i = 0; i < 8; ++i) {
     g.submit([&log, i] { log.push_back(i); },
@@ -279,6 +285,49 @@ TEST(Runtime, RegionKeyOutOfRangeThrows) {
                invalid_argument);
   EXPECT_THROW(region_key(0, 0, 1u << rt::kRegionCoordBits),
                invalid_argument);
+}
+
+TEST(Runtime, RegionKeyOutOfRangeMessageNamesOffendingFields) {
+  // The runtime path reports the actual field values and limits so a bad
+  // key is diagnosable without a debugger (the constexpr path cannot carry
+  // a formatted message, which is why the paths were split).
+  try {
+    region_key(300, 7, 1u << rt::kRegionCoordBits);
+    FAIL() << "expected invalid_argument";
+  } catch (const invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("region_key"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag=300"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("i=7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("j=268435456"), std::string::npos) << msg;
+  }
+}
+
+TEST(Runtime, GraphIsReusableAfterTaskException) {
+  // A throwing task must not poison the TaskGraph: after the exception
+  // drains out of run(), the same graph object accepts a fresh batch of
+  // submissions and runs it like new.
+  TaskGraph g;
+  g.submit([] { throw std::runtime_error("boom"); },
+           {wr(region_key(14, 0, 0))});
+  EXPECT_THROW(g.run(2), std::runtime_error);
+  EXPECT_EQ(g.size(), 0);  // run() clears the graph even on failure
+
+  std::atomic<int> count{0};
+  for (int i = 0; i < 16; ++i)
+    g.submit([&] { count++; },
+             {wr(region_key(14, static_cast<std::uint32_t>(i), 0))});
+  EXPECT_EQ(g.size(), 16);
+  EXPECT_NO_THROW(g.run(4));
+  EXPECT_EQ(count.load(), 16);
+
+  // And a second failure/recovery cycle, to rule out one-shot cleanup.
+  g.submit([] { throw std::runtime_error("boom again"); },
+           {wr(region_key(14, 0, 0))});
+  EXPECT_THROW(g.run(1), std::runtime_error);
+  g.submit([&] { count++; }, {wr(region_key(14, 1, 0))});
+  EXPECT_NO_THROW(g.run(1));
+  EXPECT_EQ(count.load(), 17);
 }
 
 TEST(Runtime, BackToBackRunsCreateNoThreadsWhenWarm) {
