@@ -17,8 +17,9 @@
 #include <vector>
 
 #include "bench_support.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
-#include "runtime/trace_io.hpp"
 #include "solver/syev_batch.hpp"
 
 using namespace tseig;
@@ -157,12 +158,15 @@ int main(int argc, char** argv) {
       p.lda = a.ld();
       p.opts.nb = 32;
     }
-    std::vector<rt::TraceEvent> trace;
+    const bool was = obs::enabled();
+    obs::reset();
+    obs::set_enabled(true);
     solver::SyevBatchOptions bopts;
     bopts.num_workers = max_workers;
-    bopts.trace = &trace;
     solver::syev_batch(batch, bopts);
-    rt::write_chrome_trace(trace, path);
+    const obs::Snapshot snap = obs::snapshot();
+    if (!was) obs::set_enabled(false);
+    obs::write_chrome_trace_file(snap, path);
     std::printf("trace written to %s\n", path);
   }
   return 0;

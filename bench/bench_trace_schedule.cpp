@@ -1,29 +1,83 @@
 // Execution-trace harness for the bulge-chasing DAG (the paper's Figure 2
 // shows exactly this kernel-execution view) and for the parallel D&C solve:
-// runs stage 2 and stedc under the dynamic runtime with tracing enabled,
-// writes Chrome-tracing JSONs (open in chrome://tracing or Perfetto), and
-// prints per-worker utilization for the dynamic vs pinned-subset schedules.
+// runs stage 2 and stedc with the unified telemetry layer (tseig::obs)
+// recording, writes Chrome-tracing JSONs (open in chrome://tracing or
+// Perfetto, or feed to tseig_prof), and prints per-lane utilization and the
+// DAG critical path for the dynamic vs pinned-subset schedules.
 //
 // Usage: bench_trace_schedule [--n N] [--nb NB] [--workers W]
-//        [--out /path/trace.json]
+//
+// The per-configuration traces land in /tmp (paths printed below); the
+// shared --trace/--metrics flags additionally export whatever the last
+// configuration recorded at process exit.
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_support.hpp"
 #include "common/rng.hpp"
-#include "runtime/trace_io.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "tridiag/stedc.hpp"
 #include "twostage/sb2st.hpp"
 #include "twostage/sy2sb.hpp"
 
 using namespace tseig;
 
+namespace {
+
+/// Prints task-span count, makespan, per-lane busy time and the recorded
+/// DAG's critical path / parallel-efficiency bound for one snapshot.
+void print_utilization(const obs::Snapshot& snap) {
+  double lo = 1e300, hi = -1e300;
+  std::vector<double> busy;
+  idx tasks = 0;
+  for (const obs::SpanRecord& s : snap.spans) {
+    if (s.is_phase) continue;
+    ++tasks;
+    lo = std::min(lo, s.start_seconds);
+    hi = std::max(hi, s.end_seconds);
+    if (busy.size() <= static_cast<size_t>(s.lane))
+      busy.resize(static_cast<size_t>(s.lane) + 1, 0.0);
+    busy[s.lane] += s.end_seconds - s.start_seconds;
+  }
+  const double makespan = tasks > 0 ? hi - lo : 0.0;
+  std::printf("  %lld task spans, makespan %.3fs\n",
+              static_cast<long long>(tasks), makespan);
+  for (size_t w = 0; w < busy.size(); ++w)
+    std::printf("  lane %zu busy %.3fs (%.0f%%)\n", w, busy[w],
+                makespan > 0.0 ? 100.0 * busy[w] / makespan : 0.0);
+  for (const obs::GraphRun& g : snap.graphs) {
+    const double cp = obs::critical_path_seconds(g.nodes);
+    std::printf("  graph [%s]: %lld tasks, %lld edges, work %.3fs, "
+                "critical path %.3fs (max speedup %.1fx)\n",
+                obs::phase_name(g.phase), static_cast<long long>(g.tasks),
+                static_cast<long long>(g.edges), g.work_seconds, cp,
+                cp > 0.0 ? g.work_seconds / cp : 0.0);
+  }
+}
+
+/// Runs `fn` with a clean telemetry capture and returns the snapshot.
+template <class F>
+obs::Snapshot record(F&& fn) {
+  const bool was = obs::enabled();
+  obs::reset();
+  obs::set_enabled(true);
+  fn();
+  obs::Snapshot snap = obs::snapshot();
+  if (!was) obs::set_enabled(false);
+  return snap;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 512);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 32);
   const int workers =
       static_cast<int>(bench::arg_idx(argc, argv, "--workers", 4));
+  bench::init_telemetry(argc, argv);
 
   Matrix a = bench::random_symmetric(n, 81);
   auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb, 1);
@@ -42,20 +96,16 @@ int main(int argc, char** argv) {
       {"pinned subset (2)", 2, "/tmp/trace_stage2_pinned.json"},
   };
   for (const Cfg& c : cfgs) {
-    std::vector<rt::TraceEvent> trace;
-    twostage::Sb2stOptions o;
-    o.num_workers = workers;
-    o.stage2_workers = c.subset;
-    o.group = 4;
-    o.trace = &trace;
-    (void)twostage::sb2st(s1.band, o);
-    const auto sum = rt::summarize(trace);
-    std::printf("\n%s: %lld tasks, makespan %.3fs\n", c.name,
-                static_cast<long long>(sum.tasks), sum.makespan);
-    for (size_t w = 0; w < sum.busy_seconds.size(); ++w)
-      std::printf("  worker %zu busy %.3fs (%.0f%%)\n", w, sum.busy_seconds[w],
-                  100.0 * sum.busy_seconds[w] / sum.makespan);
-    rt::write_chrome_trace(trace, c.out);
+    const obs::Snapshot snap = record([&] {
+      twostage::Sb2stOptions o;
+      o.num_workers = workers;
+      o.stage2_workers = c.subset;
+      o.group = 4;
+      (void)twostage::sb2st(s1.band, o);
+    });
+    std::printf("\n%s:\n", c.name);
+    print_utilization(snap);
+    obs::write_chrome_trace_file(snap, c.out);
     std::printf("  trace written to %s\n", c.out);
   }
   // D&C merge-tree trace (the solve phase alongside stages 1-2): leaf
@@ -67,18 +117,14 @@ int main(int argc, char** argv) {
     rng.fill_uniform(d.data(), n);
     if (n > 1) rng.fill_uniform(e.data(), n - 1);
     Matrix z(n, n);
-    std::vector<rt::TraceEvent> trace;
-    tridiag::StedcOptions o;
-    o.num_workers = workers;
-    o.trace = &trace;
-    tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), o);
-    const auto sum = rt::summarize(trace);
-    std::printf("\nD&C merge tree: %lld tasks, makespan %.3fs\n",
-                static_cast<long long>(sum.tasks), sum.makespan);
-    for (size_t w = 0; w < sum.busy_seconds.size(); ++w)
-      std::printf("  worker %zu busy %.3fs (%.0f%%)\n", w, sum.busy_seconds[w],
-                  100.0 * sum.busy_seconds[w] / sum.makespan);
-    rt::write_chrome_trace(trace, "/tmp/trace_stedc.json");
+    const obs::Snapshot snap = record([&] {
+      tridiag::StedcOptions o;
+      o.num_workers = workers;
+      tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), o);
+    });
+    std::printf("\nD&C merge tree:\n");
+    print_utilization(snap);
+    obs::write_chrome_trace_file(snap, "/tmp/trace_stedc.json");
     std::printf("  trace written to /tmp/trace_stedc.json\n");
   }
 

@@ -5,6 +5,7 @@
 
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace tseig::bench {
@@ -75,6 +76,22 @@ bool arg_flag(int argc, char** argv, const std::string& key) {
     if (key == argv[i]) return true;
   }
   return false;
+}
+
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (key == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+bool init_telemetry(int argc, char** argv) {
+  const std::string trace = arg_string(argc, argv, "--trace");
+  const std::string metrics = arg_string(argc, argv, "--metrics");
+  if (trace.empty() && metrics.empty()) return false;
+  obs::set_export_paths(trace, metrics);
+  return true;
 }
 
 std::vector<idx> sweep_sizes(idx nmax) {

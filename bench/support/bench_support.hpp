@@ -53,6 +53,17 @@ idx arg_idx(int argc, char** argv, const std::string& key, idx fallback);
 /// uses.
 int arg_workers(int argc, char** argv, int fallback = 1);
 
+/// Parses "--key value" string overrides; returns fallback when absent.
+std::string arg_string(int argc, char** argv, const std::string& key,
+                       const std::string& fallback = "");
+
+/// Shared telemetry switch for every bench: "--trace PATH" and/or
+/// "--metrics PATH" enable the unified obs layer and register an at-exit
+/// export (same machinery as TSEIG_TRACE / TSEIG_METRICS in the
+/// environment, see obs/telemetry.hpp).  Returns true when either flag was
+/// given.  Call once at the top of main, before any timed work.
+bool init_telemetry(int argc, char** argv);
+
 /// Prints the persistent thread pool's counters (threads ever created, jobs
 /// executed, park/unpark events) -- lets a bench show that warm iterations
 /// create no OS threads.

@@ -1,0 +1,515 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace tseig::obs {
+namespace {
+
+#ifndef TSEIG_GIT_DESCRIBE
+#define TSEIG_GIT_DESCRIBE "unknown"
+#endif
+
+/// Formats a double with enough digits for microsecond-resolution
+/// timestamps hours into a run.
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  // JSON forbids bare nan/inf; clamp to null-ish zero (never produced by
+  // healthy runs, but a defensive exporter must not emit invalid JSON).
+  if (!std::isfinite(v)) return "0";
+  return buf;
+}
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+/// Phase from its exported name (report loaders).
+Phase phase_from_name(const std::string& name) {
+  for (int p = 0; p < kPhaseCount; ++p)
+    if (name == phase_name(static_cast<Phase>(p)))
+      return static_cast<Phase>(p);
+  return Phase::none;
+}
+
+}  // namespace
+
+double critical_path_seconds(const std::vector<GraphTask>& nodes) {
+  // Hazard edges always point forward in submission order, so a reverse
+  // sweep is a topological-order DP; best[i] = longest path starting at i.
+  const idx n = static_cast<idx>(nodes.size());
+  std::vector<double> best(static_cast<size_t>(n), 0.0);
+  double longest = 0.0;
+  for (idx i = n - 1; i >= 0; --i) {
+    double tail = 0.0;
+    for (idx s : nodes[static_cast<size_t>(i)].successors)
+      if (s > i && s < n) tail = std::max(tail, best[static_cast<size_t>(s)]);
+    best[static_cast<size_t>(i)] =
+        nodes[static_cast<size_t>(i)].duration_seconds + tail;
+    longest = std::max(longest, best[static_cast<size_t>(i)]);
+  }
+  return longest;
+}
+
+Report analyze(const Snapshot& snap) {
+  Report rep;
+  rep.meta = snap.meta;
+  rep.git = TSEIG_GIT_DESCRIBE;
+  rep.span_count = static_cast<idx>(snap.spans.size());
+  rep.dropped_spans = snap.dropped_spans;
+  rep.workers = snap.workers;
+
+  if (!snap.spans.empty()) {
+    double lo = snap.spans.front().start_seconds;
+    double hi = snap.spans.front().end_seconds;
+    for (const SpanRecord& s : snap.spans) {
+      lo = std::min(lo, s.start_seconds);
+      hi = std::max(hi, s.end_seconds);
+    }
+    rep.wall_seconds = hi - lo;
+  }
+
+  // Per-phase accumulation.
+  struct Acc {
+    double phase_seconds = 0.0;
+    double task_seconds = 0.0;
+    double outside_caller_task_seconds = 0.0;
+    double graph_wall = 0.0;
+    double graph_cp = 0.0;
+    idx tasks = 0;
+    idx graphs = 0;
+    int caller_lane = -1;  // lane of the phase span(s)
+    std::vector<std::pair<double, double>> graph_intervals;
+  };
+  std::vector<Acc> acc(static_cast<size_t>(kPhaseCount));
+
+  for (const GraphRun& g : snap.graphs) {
+    Acc& a = acc[static_cast<size_t>(g.phase)];
+    const double cp = critical_path_seconds(g.nodes);
+    const double wall = g.end_seconds - g.start_seconds;
+    a.graph_wall += wall;
+    a.graph_cp += cp;
+    ++a.graphs;
+    a.graph_intervals.emplace_back(g.start_seconds, g.end_seconds);
+
+    GraphReport gr;
+    gr.phase = phase_name(g.phase);
+    gr.num_workers = g.num_workers;
+    gr.tasks = g.tasks;
+    gr.edges = g.edges;
+    gr.wall_seconds = wall;
+    gr.work_seconds = g.work_seconds;
+    gr.critical_path_seconds = cp;
+    gr.avg_wait_seconds =
+        g.tasks > 0 ? g.wait_total_seconds / static_cast<double>(g.tasks) : 0.0;
+    gr.max_wait_seconds = g.wait_max_seconds;
+    gr.max_ready_depth = g.max_ready_depth;
+    rep.graphs.push_back(gr);
+  }
+
+  for (const SpanRecord& s : snap.spans) {
+    Acc& a = acc[static_cast<size_t>(s.phase)];
+    if (s.is_phase != 0) {
+      a.phase_seconds += s.end_seconds - s.start_seconds;
+      a.caller_lane = s.lane;
+    } else {
+      a.task_seconds += s.end_seconds - s.start_seconds;
+      ++a.tasks;
+    }
+  }
+  // Serial (untasked) caller time needs the caller-lane task spans that fall
+  // outside every graph interval of their phase (tasks inside a graph are
+  // already covered by the graph's wall).
+  for (auto& a : acc)
+    std::sort(a.graph_intervals.begin(), a.graph_intervals.end());
+  for (const SpanRecord& s : snap.spans) {
+    if (s.is_phase != 0) continue;
+    Acc& a = acc[static_cast<size_t>(s.phase)];
+    if (a.caller_lane != s.lane) continue;
+    bool inside = false;
+    for (const auto& iv : a.graph_intervals) {
+      if (iv.first > s.start_seconds + 1e-12) break;
+      if (s.end_seconds <= iv.second + 1e-12) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) a.outside_caller_task_seconds += s.end_seconds - s.start_seconds;
+  }
+
+  double phase_wall_total = 0.0;
+  for (int p = 0; p < kPhaseCount; ++p) {
+    const Acc& a = acc[static_cast<size_t>(p)];
+    if (a.phase_seconds == 0.0 && a.tasks == 0 && a.graphs == 0) continue;
+    PhaseReport pr;
+    pr.phase = static_cast<Phase>(p);
+    pr.name = phase_name(pr.phase);
+    pr.seconds = a.phase_seconds;
+    pr.task_seconds = a.task_seconds;
+    pr.tasks = a.tasks;
+    pr.graphs = a.graphs;
+    // Serial remainder: phase wall not covered by task graphs or by serial
+    // task spans on the caller lane.
+    const double serial = std::max(
+        0.0, a.phase_seconds - a.graph_wall - a.outside_caller_task_seconds);
+    pr.work_seconds = a.task_seconds + serial;
+    pr.critical_path_seconds =
+        std::max(0.0, a.phase_seconds - a.graph_wall) + a.graph_cp +
+        (a.phase_seconds == 0.0 ? a.outside_caller_task_seconds : 0.0);
+    rep.phases.push_back(pr);
+    rep.work_seconds += pr.work_seconds;
+    rep.critical_path_seconds += pr.critical_path_seconds;
+    phase_wall_total += a.phase_seconds;
+  }
+
+  int workers = rep.meta.num_workers;
+  if (workers <= 0)
+    for (const GraphRun& g : snap.graphs) workers = std::max(workers, g.num_workers);
+  if (workers <= 0) workers = 1;
+  const double capacity =
+      static_cast<double>(workers) *
+      (phase_wall_total > 0.0 ? phase_wall_total : rep.wall_seconds);
+  rep.parallel_efficiency = capacity > 0.0 ? rep.work_seconds / capacity : 0.0;
+  return rep;
+}
+
+namespace {
+
+/// Writes the metrics object body (shared between the metrics file and the
+/// "tseigMetrics" key embedded in the Chrome trace).
+std::string metrics_object(const Snapshot& snap) {
+  const Report rep = analyze(snap);
+  std::ostringstream out;
+  out << "{\"schema\":\"tseig-metrics-v1\"";
+  out << ",\"run\":{\"label\":" << json_string(rep.meta.label)
+      << ",\"n\":" << rep.meta.n << ",\"nb\":" << rep.meta.nb
+      << ",\"workers\":" << rep.meta.num_workers
+      << ",\"git\":" << json_string(rep.git) << "}";
+  out << ",\"totals\":{\"wall_seconds\":" << num(rep.wall_seconds)
+      << ",\"work_seconds\":" << num(rep.work_seconds)
+      << ",\"critical_path_seconds\":" << num(rep.critical_path_seconds)
+      << ",\"parallel_efficiency\":" << num(rep.parallel_efficiency)
+      << ",\"spans\":" << rep.span_count
+      << ",\"dropped_spans\":" << rep.dropped_spans << "}";
+  out << ",\"phases\":[";
+  bool first = true;
+  for (const PhaseReport& p : rep.phases) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << json_string(p.name)
+        << ",\"seconds\":" << num(p.seconds)
+        << ",\"task_seconds\":" << num(p.task_seconds)
+        << ",\"work_seconds\":" << num(p.work_seconds)
+        << ",\"critical_path_seconds\":" << num(p.critical_path_seconds)
+        << ",\"tasks\":" << p.tasks << ",\"graphs\":" << p.graphs << "}";
+  }
+  out << "],\"graphs\":[";
+  first = true;
+  for (const GraphReport& g : rep.graphs) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"phase\":" << json_string(g.phase)
+        << ",\"workers\":" << g.num_workers << ",\"tasks\":" << g.tasks
+        << ",\"edges\":" << g.edges
+        << ",\"wall_seconds\":" << num(g.wall_seconds)
+        << ",\"work_seconds\":" << num(g.work_seconds)
+        << ",\"critical_path_seconds\":" << num(g.critical_path_seconds)
+        << ",\"avg_wait_seconds\":" << num(g.avg_wait_seconds)
+        << ",\"max_wait_seconds\":" << num(g.max_wait_seconds)
+        << ",\"max_ready_depth\":" << g.max_ready_depth << "}";
+  }
+  out << "],\"pool\":[";
+  first = true;
+  for (const WorkerMetric& w : rep.workers) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"worker\":" << w.worker
+        << ",\"busy_seconds\":" << num(w.busy_seconds)
+        << ",\"park_seconds\":" << num(w.park_seconds) << ",\"jobs\":" << w.jobs
+        << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+std::string to_metrics_json(const Snapshot& snap) {
+  return metrics_object(snap);
+}
+
+std::string to_chrome_trace_json(const Snapshot& snap) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& record) {
+    if (!first) out << ",";
+    first = false;
+    out << record;
+  };
+
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":"
+       "\"tseig\"}}");
+  std::uint16_t max_lane = 0;
+  for (const SpanRecord& s : snap.spans) max_lane = std::max(max_lane, s.lane);
+  for (std::uint16_t lane = 0; lane <= max_lane; ++lane) {
+    std::ostringstream ev;
+    ev << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+       << ",\"args\":{\"name\":\"lane " << lane
+       << (lane == 0 ? " (caller)" : "") << "\"}}";
+    emit(ev.str());
+  }
+
+  for (const SpanRecord& s : snap.spans) {
+    std::ostringstream ev;
+    ev << "{\"name\":" << json_string(s.label)
+       << ",\"cat\":" << (s.is_phase != 0 ? "\"phase\"" : "\"task\"")
+       << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << s.lane
+       << ",\"ts\":" << num(s.start_seconds * 1e6)
+       << ",\"dur\":" << num((s.end_seconds - s.start_seconds) * 1e6)
+       << ",\"args\":{\"phase\":" << json_string(phase_name(s.phase));
+    if (s.arg >= 0) ev << ",\"arg\":" << s.arg;
+    ev << "}}";
+    emit(ev.str());
+  }
+  for (const CounterRecord& c : snap.counters) {
+    std::ostringstream ev;
+    ev << "{\"name\":" << json_string(c.name)
+       << ",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":" << num(c.t_seconds * 1e6)
+       << ",\"args\":{" << json_string(c.name) << ":" << num(c.value) << "}}";
+    emit(ev.str());
+  }
+
+  out << "],\"metadata\":{\"schema\":\"tseig-trace-v1\",\"label\":"
+      << json_string(snap.meta.label) << ",\"n\":" << snap.meta.n
+      << ",\"nb\":" << snap.meta.nb << ",\"workers\":" << snap.meta.num_workers
+      << ",\"git\":" << json_string(TSEIG_GIT_DESCRIBE)
+      << ",\"dropped_spans\":" << snap.dropped_spans << "}";
+  out << ",\"tseigMetrics\":" << metrics_object(snap) << "}";
+  return out.str();
+}
+
+std::string format_report(const Report& rep) {
+  std::ostringstream out;
+  out << "tseig telemetry report";
+  if (!rep.meta.label.empty()) out << " -- " << rep.meta.label;
+  out << " (n=" << rep.meta.n << ", nb=" << rep.meta.nb
+      << ", workers=" << rep.meta.num_workers << ", git " << rep.git << ")\n";
+  out << "  wall                " << fmt("%10.6f", rep.wall_seconds) << " s   ("
+      << rep.span_count << " spans, " << rep.dropped_spans << " dropped)\n";
+  out << "  work                " << fmt("%10.6f", rep.work_seconds)
+      << " cpu-s\n";
+  if (rep.has_critical_path) {
+    out << "  critical path       "
+        << fmt("%10.6f", rep.critical_path_seconds) << " s";
+    if (rep.critical_path_seconds > 0.0)
+      out << "   (speedup bound "
+          << fmt("%.2f", rep.work_seconds / rep.critical_path_seconds)
+          << "x)";
+    out << "\n";
+  }
+  out << "  parallel efficiency " << fmt("%10.1f", rep.parallel_efficiency * 100)
+      << " %\n";
+
+  if (!rep.phases.empty()) {
+    double total = 0.0;
+    for (const PhaseReport& p : rep.phases) total += p.seconds;
+    out << "\n  phase        wall s      %     work s   critical s   tasks  "
+           "graphs\n";
+    for (const PhaseReport& p : rep.phases) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "  %-10s %9.6f  %5.1f  %9.6f    %9.6f  %6lld  %6lld\n",
+                    p.name.c_str(), p.seconds,
+                    total > 0.0 ? 100.0 * p.seconds / total : 0.0,
+                    p.work_seconds, p.critical_path_seconds,
+                    static_cast<long long>(p.tasks),
+                    static_cast<long long>(p.graphs));
+      out << line;
+    }
+  }
+  if (!rep.graphs.empty()) {
+    out << "\n  task graphs:\n";
+    for (const GraphReport& g : rep.graphs) {
+      char line[220];
+      std::snprintf(
+          line, sizeof line,
+          "    [%-7s] %5lld tasks %6lld edges %2d workers: wall %.6fs "
+          "work %.6fs cp %.6fs wait avg %.1fus max %.1fus depth<=%lld\n",
+          g.phase.c_str(), static_cast<long long>(g.tasks),
+          static_cast<long long>(g.edges), g.num_workers, g.wall_seconds,
+          g.work_seconds, g.critical_path_seconds, g.avg_wait_seconds * 1e6,
+          g.max_wait_seconds * 1e6, static_cast<long long>(g.max_ready_depth));
+      out << line;
+    }
+  }
+  if (!rep.workers.empty()) {
+    out << "\n  pool workers:\n";
+    for (const WorkerMetric& w : rep.workers) {
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "    worker %d: busy %.6fs park %.6fs jobs %llu\n",
+                    w.worker, w.busy_seconds, w.park_seconds,
+                    static_cast<unsigned long long>(w.jobs));
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+void write_chrome_trace_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream f(path);
+  if (!f)
+    throw invalid_argument("write_chrome_trace_file: cannot open " + path);
+  f << to_chrome_trace_json(snap);
+  if (!f) throw invalid_argument("write_chrome_trace_file: write failed");
+}
+
+void write_metrics_file(const Snapshot& snap, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw invalid_argument("write_metrics_file: cannot open " + path);
+  f << to_metrics_json(snap);
+  if (!f) throw invalid_argument("write_metrics_file: write failed");
+}
+
+Report report_from_metrics_json(const JsonValue& doc) {
+  const JsonValue* metrics = doc.find("tseigMetrics");
+  const JsonValue& m = metrics != nullptr ? *metrics : doc;
+  require(m.string_or("schema", "") == "tseig-metrics-v1",
+          "report_from_metrics_json: not a tseig-metrics-v1 document");
+
+  Report rep;
+  if (const JsonValue* run = m.find("run")) {
+    rep.meta.label = run->string_or("label", "");
+    rep.meta.n = static_cast<idx>(run->number_or("n", 0));
+    rep.meta.nb = static_cast<idx>(run->number_or("nb", 0));
+    rep.meta.num_workers = static_cast<int>(run->number_or("workers", 0));
+    rep.git = run->string_or("git", "unknown");
+  }
+  if (const JsonValue* t = m.find("totals")) {
+    rep.wall_seconds = t->number_or("wall_seconds", 0.0);
+    rep.work_seconds = t->number_or("work_seconds", 0.0);
+    rep.critical_path_seconds = t->number_or("critical_path_seconds", 0.0);
+    rep.parallel_efficiency = t->number_or("parallel_efficiency", 0.0);
+    rep.span_count = static_cast<idx>(t->number_or("spans", 0));
+    rep.dropped_spans =
+        static_cast<std::uint64_t>(t->number_or("dropped_spans", 0));
+  }
+  if (const JsonValue* phases = m.find("phases")) {
+    for (const JsonValue& p : phases->as_array()) {
+      PhaseReport pr;
+      pr.name = p.string_or("name", "?");
+      pr.phase = phase_from_name(pr.name);
+      pr.seconds = p.number_or("seconds", 0.0);
+      pr.task_seconds = p.number_or("task_seconds", 0.0);
+      pr.work_seconds = p.number_or("work_seconds", 0.0);
+      pr.critical_path_seconds = p.number_or("critical_path_seconds", 0.0);
+      pr.tasks = static_cast<idx>(p.number_or("tasks", 0));
+      pr.graphs = static_cast<idx>(p.number_or("graphs", 0));
+      rep.phases.push_back(pr);
+    }
+  }
+  if (const JsonValue* graphs = m.find("graphs")) {
+    for (const JsonValue& g : graphs->as_array()) {
+      GraphReport gr;
+      gr.phase = g.string_or("phase", "?");
+      gr.num_workers = static_cast<int>(g.number_or("workers", 1));
+      gr.tasks = static_cast<idx>(g.number_or("tasks", 0));
+      gr.edges = static_cast<idx>(g.number_or("edges", 0));
+      gr.wall_seconds = g.number_or("wall_seconds", 0.0);
+      gr.work_seconds = g.number_or("work_seconds", 0.0);
+      gr.critical_path_seconds = g.number_or("critical_path_seconds", 0.0);
+      gr.avg_wait_seconds = g.number_or("avg_wait_seconds", 0.0);
+      gr.max_wait_seconds = g.number_or("max_wait_seconds", 0.0);
+      gr.max_ready_depth = static_cast<idx>(g.number_or("max_ready_depth", 0));
+      rep.graphs.push_back(gr);
+    }
+  }
+  if (const JsonValue* pool = m.find("pool")) {
+    for (const JsonValue& w : pool->as_array()) {
+      WorkerMetric wm;
+      wm.worker = static_cast<int>(w.number_or("worker", 0));
+      wm.busy_seconds = w.number_or("busy_seconds", 0.0);
+      wm.park_seconds = w.number_or("park_seconds", 0.0);
+      wm.jobs = static_cast<std::uint64_t>(w.number_or("jobs", 0));
+      rep.workers.push_back(wm);
+    }
+  }
+  return rep;
+}
+
+Report report_from_trace_json(const JsonValue& doc) {
+  const JsonValue* events = doc.find("traceEvents");
+  require(events != nullptr,
+          "report_from_trace_json: no traceEvents array in document");
+
+  Report rep;
+  rep.has_critical_path = false;
+  if (const JsonValue* meta = doc.find("metadata")) {
+    rep.meta.label = meta->string_or("label", "");
+    rep.meta.n = static_cast<idx>(meta->number_or("n", 0));
+    rep.meta.nb = static_cast<idx>(meta->number_or("nb", 0));
+    rep.meta.num_workers = static_cast<int>(meta->number_or("workers", 0));
+    rep.git = meta->string_or("git", "unknown");
+  }
+
+  struct Acc {
+    double phase_seconds = 0.0;
+    double task_seconds = 0.0;
+    idx tasks = 0;
+  };
+  std::map<std::string, Acc> acc;
+  double lo = 0.0, hi = 0.0;
+  bool any = false;
+  for (const JsonValue& ev : events->as_array()) {
+    if (ev.string_or("ph", "") != "X") continue;
+    const double ts = ev.number_or("ts", 0.0) * 1e-6;
+    const double dur = ev.number_or("dur", 0.0) * 1e-6;
+    if (!any) {
+      lo = ts;
+      hi = ts + dur;
+      any = true;
+    }
+    lo = std::min(lo, ts);
+    hi = std::max(hi, ts + dur);
+    std::string phase = "none";
+    if (const JsonValue* args = ev.find("args"))
+      phase = args->string_or("phase", "none");
+    Acc& a = acc[phase];
+    if (ev.string_or("cat", "") == "phase") {
+      a.phase_seconds += dur;
+    } else {
+      a.task_seconds += dur;
+      ++a.tasks;
+    }
+    ++rep.span_count;
+  }
+  rep.wall_seconds = any ? hi - lo : 0.0;
+  double phase_wall = 0.0;
+  for (const auto& [name, a] : acc) {
+    PhaseReport pr;
+    pr.name = name;
+    pr.phase = phase_from_name(name);
+    pr.seconds = a.phase_seconds;
+    pr.task_seconds = a.task_seconds;
+    pr.work_seconds = a.task_seconds;
+    pr.tasks = a.tasks;
+    rep.phases.push_back(pr);
+    rep.work_seconds += a.task_seconds;
+    phase_wall += a.phase_seconds;
+  }
+  int workers = std::max(1, rep.meta.num_workers);
+  const double capacity = static_cast<double>(workers) *
+                          (phase_wall > 0.0 ? phase_wall : rep.wall_seconds);
+  rep.parallel_efficiency = capacity > 0.0 ? rep.work_seconds / capacity : 0.0;
+  return rep;
+}
+
+}  // namespace tseig::obs

@@ -1,0 +1,96 @@
+// Analysis and export of recorded telemetry (see obs/telemetry.hpp):
+//
+//  * critical-path analyzer -- replays the task durations a run recorded
+//    over the dependency edges of its DAG and reports the longest path,
+//    the total work, and the per-phase "where did the time go" attribution;
+//  * exporters -- a Perfetto/Chrome trace (phase-nested spans, counter
+//    tracks, run metadata), a stable JSON metrics schema
+//    ("tseig-metrics-v1", shared by all benches via bench_support), and a
+//    human-readable summary;
+//  * report loaders for tseig_prof -- rebuild the summary from either
+//    exported file format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/telemetry.hpp"
+
+namespace tseig::obs {
+
+/// Longest path (sum of durations) through a recorded task DAG.  Edges are
+/// assumed forward in node order (how TaskGraph derives hazard edges);
+/// backward manual edges would be cycles and are ignored.
+double critical_path_seconds(const std::vector<GraphTask>& nodes);
+
+/// Per-phase attribution of a run.
+struct PhaseReport {
+  Phase phase = Phase::none;
+  std::string name;
+  double seconds = 0.0;        ///< wall time of the phase (its phase spans)
+  double task_seconds = 0.0;   ///< sum of task-span durations inside it
+  double work_seconds = 0.0;   ///< task work + serial (untasked) remainder
+  double critical_path_seconds = 0.0;  ///< serial remainder + graph paths
+  idx tasks = 0;
+  idx graphs = 0;
+};
+
+/// Per-graph-run summary (the DAG itself stays in the Snapshot).
+struct GraphReport {
+  std::string phase;
+  int num_workers = 1;
+  idx tasks = 0;
+  idx edges = 0;
+  double wall_seconds = 0.0;
+  double work_seconds = 0.0;
+  double critical_path_seconds = 0.0;
+  double avg_wait_seconds = 0.0;
+  double max_wait_seconds = 0.0;
+  idx max_ready_depth = 0;
+};
+
+/// The full utilization/critical-path report tseig_prof prints.
+struct Report {
+  RunMeta meta;
+  std::string git;
+  double wall_seconds = 0.0;          ///< span extent: max end - min start
+  double work_seconds = 0.0;          ///< total useful CPU-seconds
+  double critical_path_seconds = 0.0; ///< sum of per-phase critical paths
+  double parallel_efficiency = 0.0;   ///< work / (workers * phase wall)
+  std::vector<PhaseReport> phases;    ///< phases with activity only
+  std::vector<GraphReport> graphs;
+  std::vector<WorkerMetric> workers;
+  idx span_count = 0;
+  std::uint64_t dropped_spans = 0;
+  bool has_critical_path = true;  ///< false when loaded from a bare trace
+};
+
+/// Builds the report from a snapshot (runs the critical-path analysis).
+Report analyze(const Snapshot& snap);
+
+/// Chrome-tracing/Perfetto JSON: spans as complete events (one row per
+/// lane), counters as counter tracks, run metadata, plus the full metrics
+/// object embedded under the "tseigMetrics" key so tseig_prof can print the
+/// critical-path report from the trace file alone.
+std::string to_chrome_trace_json(const Snapshot& snap);
+
+/// The stable metrics document ("schema": "tseig-metrics-v1").
+std::string to_metrics_json(const Snapshot& snap);
+
+/// Human-readable summary of a report.
+std::string format_report(const Report& report);
+
+/// File writers (throw on I/O failure).
+void write_chrome_trace_file(const Snapshot& snap, const std::string& path);
+void write_metrics_file(const Snapshot& snap, const std::string& path);
+
+/// Rebuilds a report from a parsed "tseig-metrics-v1" document (or a trace
+/// document embedding one under "tseigMetrics").
+Report report_from_metrics_json(const JsonValue& doc);
+
+/// Rebuilds what it can (per-phase totals, utilization; no critical path)
+/// from a bare Chrome trace document's traceEvents.
+Report report_from_trace_json(const JsonValue& doc);
+
+}  // namespace tseig::obs

@@ -7,6 +7,7 @@
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
 #include "lapack/householder.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tseig::onestage {
 namespace {
@@ -96,6 +97,9 @@ void sytrd(idx n, double* a, idx lda, double* d, double* e, double* tau,
   // Keep at least 2nb columns for the unblocked finish (mirrors xSYTRD's
   // crossover handling and avoids degenerate panels).
   while (n - j > 2 * nb) {
+    // One span per panel + trailing update (arg = panel index): the
+    // one-stage timeline's unit of progress.
+    obs::Span span("sytrd_panel", static_cast<std::int32_t>(j / nb));
     latrd(n - j, nb, a + j + j * lda, lda, e + j, tau + j, w.data(), n - j);
     // Trailing update: A22 -= V W^T + W V^T with V the panel reflectors.
     // V = A(j+nb : n, j : j+nb) with implicit unit diagonals already folded
@@ -117,6 +121,7 @@ void sytrd(idx n, double* a, idx lda, double* d, double* e, double* tau,
     j += nb;
   }
   // Unblocked finish on the remaining block.
+  obs::Span span("sytd2_finish");
   sytd2(n - j, a + j + j * lda, lda, d + j, e + j, tau + j);
 }
 
@@ -133,6 +138,7 @@ void ormtr(op trans, idx n, idx ncols, const double* a, idx lda,
   // C <- Q^T C apply first-to-last.
   const idx nblocks = (k + nb - 1) / nb;
   for (idx bi = 0; bi < nblocks; ++bi) {
+    obs::Span span("ormtr_block", static_cast<std::int32_t>(bi));
     const idx b = trans == op::none ? nblocks - 1 - bi : bi;
     const idx jbeg = b * nb;
     const idx ib = std::min(nb, k - jbeg);

@@ -9,7 +9,7 @@
 #include <sstream>
 #include <thread>
 
-#include "common/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
 
@@ -36,11 +36,11 @@ struct ActiveTaskGuard {
   bool installed;
   detail::ActiveTask at;
   ActiveTaskGuard(bool validate, const std::vector<Access>* accesses,
-                  const std::string* label, idx id, const RegionMap* map)
+                  const char* label, idx id, const RegionMap* map)
       : installed(validate) {
     if (!installed) return;
     at.accesses = accesses;
-    at.label = label;
+    at.label = label != nullptr ? label : "";
     at.task_id = id;
     at.map = map;
     detail::tl_active_task = &at;
@@ -129,13 +129,16 @@ void TaskGraph::run_elided() {
   // the tasks in that order on the calling thread is a valid schedule --
   // the oracle fuzzed parallel runs are compared against.
   GraphWorkerGuard guard(0);
-  WallTimer clock;
+  const bool observing = obs::enabled();
+  const double run_start = obs::now_seconds();
+  std::vector<double> durations;
+  if (observing) durations.resize(tasks_.size(), 0.0);
   std::exception_ptr first_error;
   for (idx id = 0; id < static_cast<idx>(tasks_.size()); ++id) {
     Task& t = tasks_[static_cast<size_t>(id)];
-    const double t0 = clock.seconds();
+    const double t0 = obs::now_seconds();
     {
-      ActiveTaskGuard active(validate_, &t.accesses, &t.label, id,
+      ActiveTaskGuard active(validate_, &t.accesses, t.label, id,
                              region_map_);
       try {
         t.fn();
@@ -143,8 +146,14 @@ void TaskGraph::run_elided() {
         if (!first_error) first_error = std::current_exception();
       }
     }
-    if (tracing_) trace_.push_back({t.label, 0, t0, clock.seconds()});
+    const double t1 = obs::now_seconds();
+    if (tracing_) trace_.push_back({t.label, -1, 0, t0, t1});
+    if (observing) {
+      durations[static_cast<size_t>(id)] = t1 - t0;
+      obs::record_span(t.label, t0, t1);
+    }
   }
+  if (observing && !first_error) record_run(1, run_start, durations, {});
   tasks_.clear();
   regions_.clear();
   edge_count_ = 0;
@@ -152,6 +161,31 @@ void TaskGraph::run_elided() {
     trace_.clear();
     std::rethrow_exception(first_error);
   }
+}
+
+void TaskGraph::record_run(int num_workers, double run_start,
+                           const std::vector<double>& durations,
+                           const WaitStats& waits) {
+  obs::GraphRun run;
+  run.phase = obs::current_phase();
+  run.num_workers = num_workers;
+  run.tasks = static_cast<idx>(tasks_.size());
+  run.edges = edge_count_;
+  run.start_seconds = run_start;
+  run.end_seconds = obs::now_seconds();
+  run.wait_total_seconds = waits.total_seconds;
+  run.wait_max_seconds = waits.max_seconds;
+  run.max_ready_depth = waits.max_ready_depth;
+  run.nodes.reserve(tasks_.size());
+  for (size_t k = 0; k < tasks_.size(); ++k) {
+    obs::GraphTask node;
+    node.label = tasks_[k].label;
+    node.duration_seconds = durations[k];
+    node.successors = tasks_[k].successors;  // copied before tasks_.clear()
+    run.work_seconds += node.duration_seconds;
+    run.nodes.push_back(std::move(node));
+  }
+  obs::record_graph_run(std::move(run));
 }
 
 void TaskGraph::run(int num_workers) {
@@ -200,7 +234,17 @@ void TaskGraph::run(int num_workers) {
   idx executing = 0;    // bodies currently running (deadlock detection)
   bool deadlocked = false;
   std::exception_ptr first_error;
-  WallTimer clock;
+  // Telemetry (all guarded by `observing`; mu-protected where shared).
+  const bool observing = obs::enabled();
+  const double run_start = obs::now_seconds();
+  std::vector<double> durations;   // per-task measured duration
+  std::vector<double> ready_at;    // per-task ready (deps met) stamp
+  WaitStats waits;
+  idx ready_depth = 0;             // tasks currently ready, all queues
+  if (observing) {
+    durations.resize(tasks_.size(), 0.0);
+    ready_at.resize(tasks_.size(), run_start);
+  }
   // xorshift64 over the fuzz seed; all draws happen under `mu`, so the
   // sequence of scheduling decisions is a deterministic function of the
   // seed and the (timing-dependent) draw interleaving.
@@ -221,6 +265,12 @@ void TaskGraph::run(int num_workers) {
       fuzz_ready.push_back(id);
     } else {
       shared_ready.push({t.priority, id, id});
+    }
+    if (observing) {
+      ready_at[static_cast<size_t>(id)] = obs::now_seconds();
+      ++ready_depth;
+      waits.max_ready_depth = std::max(waits.max_ready_depth, ready_depth);
+      obs::record_counter("ready_depth", static_cast<double>(ready_depth));
     }
   };
 
@@ -277,6 +327,7 @@ void TaskGraph::run(int num_workers) {
 
       Task& t = tasks_[static_cast<size_t>(id)];
       ++executing;
+      if (observing) --ready_depth;
       const int delay_us =
           fuzz_ ? static_cast<int>(rng_next() % 200) : 0;
       lock.unlock();
@@ -284,9 +335,9 @@ void TaskGraph::run(int num_workers) {
       // the dynamic checker observe.
       if (delay_us > 0)
         std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
-      const double t0 = clock.seconds();
+      const double t0 = obs::now_seconds();
       {
-        ActiveTaskGuard active(validate_, &t.accesses, &t.label, id,
+        ActiveTaskGuard active(validate_, &t.accesses, t.label, id,
                                region_map_);
         try {
           t.fn();
@@ -298,11 +349,18 @@ void TaskGraph::run(int num_workers) {
           lock.unlock();
         }
       }
-      const double t1 = clock.seconds();
+      const double t1 = obs::now_seconds();
+      if (observing) obs::record_span(t.label, t0, t1);
       lock.lock();
       --executing;
+      if (observing) {
+        durations[static_cast<size_t>(id)] = t1 - t0;
+        const double wait = t0 - ready_at[static_cast<size_t>(id)];
+        waits.total_seconds += wait;
+        waits.max_seconds = std::max(waits.max_seconds, wait);
+      }
       if (tracing_) {
-        trace_.push_back({t.label, worker_id, t0, t1});
+        trace_.push_back({t.label, -1, worker_id, t0, t1});
       }
       bool woke_pinned_other = false;
       for (idx s : t.successors) {
@@ -328,6 +386,8 @@ void TaskGraph::run(int num_workers) {
     ThreadPool::instance().fork_join(num_workers, worker_loop);
   }
 
+  if (observing && !first_error)
+    record_run(num_workers, run_start, durations, waits);
   tasks_.clear();
   regions_.clear();
   edge_count_ = 0;

@@ -88,9 +88,13 @@ constexpr std::uint64_t region_key(std::uint32_t tag, std::uint32_t i,
 inline Access rd(std::uint64_t region) { return {region, access::read}; }
 inline Access wr(std::uint64_t region) { return {region, access::write}; }
 
-/// Execution trace entry (enabled via TaskGraph::enable_tracing).
+/// Execution trace entry (enabled via TaskGraph::enable_tracing).  The
+/// label is the task's interned label (a borrowed static string, never
+/// copied); timestamps are on the process-wide obs epoch so traces from
+/// different graphs/subsystems line up without splicing.
 struct TraceEvent {
-  std::string label;
+  const char* label = "";
+  idx arg = -1;  ///< optional instance id (e.g. batch problem index)
   int worker = 0;
   double start_seconds = 0.0;
   double end_seconds = 0.0;
@@ -116,7 +120,8 @@ public:
     /// >= 0 pins the task to worker (hint % num_workers); -1 lets any worker
     /// run it.
     int worker_hint = -1;
-    /// Label recorded in traces.
+    /// Label recorded in traces and telemetry.  Interned: the pointer is
+    /// stored verbatim (no copy), so it must be a static string.
     const char* label = "";
   };
 
@@ -211,7 +216,8 @@ private:
     idx unmet_dependencies = 0;
     int priority = 0;
     int worker_hint = -1;
-    std::string label;
+    /// Interned label: a borrowed static string (no per-task allocation).
+    const char* label = "";
     /// Declared accesses, recorded only when validation is enabled.
     std::vector<Access> accesses;
   };
@@ -222,8 +228,20 @@ private:
     std::vector<idx> readers_since_write;
   };
 
+  /// Scheduling statistics gathered during one run() when telemetry is on.
+  struct WaitStats {
+    double total_seconds = 0.0;  ///< sum of ready -> start waits
+    double max_seconds = 0.0;
+    idx max_ready_depth = 0;     ///< peak ready-queue depth observed
+  };
+
   void add_edge(idx from, idx to);
   void run_elided();
+  /// Records this run's DAG + measured durations into tseig::obs (must be
+  /// called before tasks_ is cleared).
+  void record_run(int num_workers, double run_start,
+                  const std::vector<double>& durations,
+                  const WaitStats& waits);
 
   std::vector<Task> tasks_;
   // Region key -> hazard state.

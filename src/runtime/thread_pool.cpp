@@ -8,6 +8,7 @@
 
 #include "common/flops.hpp"
 #include "common/types.hpp"
+#include "obs/telemetry.hpp"
 
 namespace tseig::rt {
 namespace {
@@ -65,6 +66,10 @@ struct ThreadPool::Impl {
   std::uint64_t unparks = 0;
   std::atomic<std::uint64_t> jobs{0};
 
+  // Per-worker time accounting for the telemetry layer (mu-protected;
+  // updated at park/unpark and ticket boundaries, which are coarse).
+  std::vector<obs::WorkerMetric> wtimes;
+
   void worker_main(int id) {
     tl_worker_id = id;
     std::unique_lock<std::mutex> lock(mu);
@@ -72,7 +77,10 @@ struct ThreadPool::Impl {
       if (queue.empty()) {
         if (stop) return;
         ++parks;
+        const double p0 = obs::now_seconds();
         work_cv.wait(lock);
+        wtimes[static_cast<size_t>(id)].park_seconds +=
+            obs::now_seconds() - p0;
         ++unparks;
         continue;
       }
@@ -80,15 +88,32 @@ struct ThreadPool::Impl {
       queue.pop_front();
       ++busy;
       lock.unlock();
+      const double b0 = obs::now_seconds();
       const std::uint64_t flops_before = flops_now();
       (*t.batch->job)(t.index);
       t.batch->forked_flops.fetch_add(flops_now() - flops_before,
                                       std::memory_order_relaxed);
+      const double b1 = obs::now_seconds();
       jobs.fetch_add(1, std::memory_order_relaxed);
       finish_body(*t.batch);
       lock.lock();
       --busy;
+      wtimes[static_cast<size_t>(id)].busy_seconds += b1 - b0;
+      ++wtimes[static_cast<size_t>(id)].jobs;
     }
+  }
+
+  /// Copies the per-worker metrics out under mu and hands them to the
+  /// telemetry layer.  Publishing on every fork_join completion (and at pool
+  /// shutdown) means exports never need to touch the possibly-destroyed
+  /// pool.
+  void publish_metrics() {
+    std::vector<obs::WorkerMetric> copy;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      copy = wtimes;
+    }
+    obs::publish_worker_metrics(copy);
   }
 
   /// Marks one body of `b` finished; wakes the fork_join caller on the last.
@@ -105,6 +130,11 @@ struct ThreadPool::Impl {
   /// on its own worker.
   void ensure_capacity() {
     const size_t needed = static_cast<size_t>(busy) + queue.size();
+    if (wtimes.size() < needed) {
+      wtimes.resize(needed);
+      for (size_t k = 0; k < wtimes.size(); ++k)
+        wtimes[k].worker = static_cast<int>(k);
+    }
     while (workers.size() < needed) {
       const int id = static_cast<int>(workers.size());
       workers.emplace_back([this, id] { worker_main(id); });
@@ -133,6 +163,11 @@ ThreadPool::~ThreadPool() {
   }
   impl_->work_cv.notify_all();
   for (auto& th : impl_->workers) th.join();
+  // Final per-worker metrics, published before the pool disappears: the
+  // telemetry exporter runs later (atexit handlers fire in reverse
+  // registration order and the env probe registers during static init) and
+  // must not reach back into a destroyed pool.
+  if (obs::enabled()) impl_->publish_metrics();
   delete impl_;
   impl_ = nullptr;
 }
@@ -179,6 +214,7 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
   // ran here and counted itself).
   count_flops(static_cast<std::int64_t>(
       batch.forked_flops.load(std::memory_order_relaxed)));
+  if (obs::enabled()) im.publish_metrics();
 }
 
 PoolStats ThreadPool::stats() const {

@@ -1,10 +1,25 @@
 #include "runtime/trace_io.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace tseig::rt {
+namespace {
+
+/// Timestamps are seconds since the process-wide obs epoch, so microsecond
+/// values can be large; %.12g keeps sub-microsecond resolution without
+/// bloating small values.
+std::string us(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.12g", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
 
 std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
   std::ostringstream out;
@@ -13,11 +28,16 @@ std::string to_chrome_trace(const std::vector<TraceEvent>& events) {
   for (const TraceEvent& ev : events) {
     if (!first) out << ",";
     first = false;
-    // Complete event ("X"): ts/dur in microseconds.
-    out << "{\"name\":\"" << (ev.label.empty() ? "task" : ev.label)
-        << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.worker
-        << ",\"ts\":" << ev.start_seconds * 1e6
-        << ",\"dur\":" << (ev.end_seconds - ev.start_seconds) * 1e6 << "}";
+    const char* label =
+        (ev.label == nullptr || ev.label[0] == '\0') ? "task" : ev.label;
+    // Complete event ("X"): ts/dur in microseconds.  Labels go through the
+    // JSON escaper -- a '"' or '\' in a label must not break the document.
+    out << "{\"name\":" << obs::json_string(label)
+        << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.worker
+        << ",\"ts\":" << us(ev.start_seconds)
+        << ",\"dur\":" << us(ev.end_seconds - ev.start_seconds);
+    if (ev.arg >= 0) out << ",\"args\":{\"arg\":" << ev.arg << "}";
+    out << "}";
   }
   out << "]}";
   return out.str();
@@ -34,13 +54,20 @@ void write_chrome_trace(const std::vector<TraceEvent>& events,
 TraceSummary summarize(const std::vector<TraceEvent>& events) {
   TraceSummary s;
   s.tasks = static_cast<idx>(events.size());
+  if (events.empty()) return s;
+  // Makespan is the extent of the events, not max(end): timestamps are on
+  // the shared obs epoch and do not start at zero.
+  double lo = events.front().start_seconds;
+  double hi = events.front().end_seconds;
   for (const TraceEvent& ev : events) {
     if (static_cast<size_t>(ev.worker) >= s.busy_seconds.size())
       s.busy_seconds.resize(static_cast<size_t>(ev.worker) + 1, 0.0);
     s.busy_seconds[static_cast<size_t>(ev.worker)] +=
         ev.end_seconds - ev.start_seconds;
-    s.makespan = std::max(s.makespan, ev.end_seconds);
+    lo = std::min(lo, ev.start_seconds);
+    hi = std::max(hi, ev.end_seconds);
   }
+  s.makespan = hi - lo;
   return s;
 }
 

@@ -291,7 +291,7 @@ void touch_checked(std::uint64_t region, bool is_write) {
     }
   }
   std::ostringstream os;
-  os << "GraphValidator: task " << at->task_id << " '" << *at->label << "' "
+  os << "GraphValidator: task " << at->task_id << " '" << at->label << "' "
      << (is_write ? "wrote" : "read") << " " << region_name(region) << " ";
   if (declared != nullptr) {
     os << "declared read-only (missing wr() declaration)";

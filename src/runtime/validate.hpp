@@ -156,7 +156,7 @@ namespace detail {
 /// validating graph; installed by TaskGraph::run around each task body.
 struct ActiveTask {
   const std::vector<Access>* accesses = nullptr;
-  const std::string* label = nullptr;
+  const char* label = "";
   idx task_id = -1;
   const RegionMap* map = nullptr;
 };

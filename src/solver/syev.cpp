@@ -4,7 +4,8 @@
 #include <cmath>
 
 #include "common/flops.hpp"
-#include "common/timer.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
@@ -63,14 +64,27 @@ std::vector<double> tridiag_subset(idx n, const double* d, const double* e,
   return w;
 }
 
-/// Phase timing helper: runs fn, accumulating seconds and flops.
+/// Phase timing helper: runs fn under the named telemetry phase,
+/// accumulating seconds and flops.  The recorded phase span uses the same
+/// two clock reads as the PhaseBreakdown accumulation, so tseig_prof's
+/// per-phase report and PhaseBreakdown agree exactly.
 template <class F>
-void timed(double& seconds, std::uint64_t& flops, F&& fn) {
-  WallTimer t;
+void timed(obs::Phase phase, const char* label, double& seconds,
+           std::uint64_t& flops, F&& fn) {
+  obs::PhaseScope scope_phase(phase);
+  const double t0 = obs::now_seconds();
   FlopScope scope;
   fn();
-  seconds += t.seconds();
-  flops += scope.count();
+  const double t1 = obs::now_seconds();
+  const std::uint64_t f = scope.count();
+  seconds += t1 - t0;
+  flops += f;
+  if (obs::enabled()) {
+    obs::record_phase_span(label, phase, t0, t1);
+    if (t1 > t0)
+      obs::record_counter("flop_rate_gflops",
+                          static_cast<double>(f) / (t1 - t0) * 1e-9);
+  }
 }
 
 SyevResult solve_one_stage(idx n, const double* a, idx lda,
@@ -83,14 +97,16 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
   std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n)),
       tau(static_cast<size_t>(n));
 
-  timed(res.phases.reduction_seconds, res.phases.reduction_flops, [&] {
+  timed(obs::Phase::sytrd, "sytrd", res.phases.reduction_seconds,
+        res.phases.reduction_flops, [&] {
     onestage::sytrd(n, work.data(), work.ld(), d.data(), e.data(), tau.data(),
                     opts.nb);
   });
 
   if (opts.job == jobz::values_only && opts.sel == range::all &&
       opts.solver != eig_solver::bisect) {
-    timed(res.phases.solve_seconds, res.phases.solve_flops,
+    timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+          res.phases.solve_flops,
           [&] { lapack::sterf(n, d.data(), e.data()); });
     res.eigenvalues = d;
     return res;
@@ -98,7 +114,8 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
   if (opts.sel != range::all || opts.solver == eig_solver::bisect) {
     // Subset path (MRRR role): bisection + inverse iteration.
     std::vector<double> w;
-    timed(res.phases.solve_seconds, res.phases.solve_flops,
+    timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+          res.phases.solve_flops,
           [&] {
             w = tridiag_subset(
                 n, d.data(), e.data(), opts,
@@ -106,7 +123,8 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
           });
     res.eigenvalues = w;
     if (opts.job == jobz::vectors && res.z.cols() > 0) {
-      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+      timed(obs::Phase::update, "update", res.phases.update_seconds,
+            res.phases.update_flops, [&] {
         onestage::ormtr(op::none, n, res.z.cols(), work.data(), work.ld(),
                         tau.data(), res.z.data(), res.z.ld(), opts.nb);
       });
@@ -118,12 +136,14 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
     case eig_solver::qr: {
       // Q built explicitly (Table 1's "Gen Q"), rotations accumulate in it.
       Matrix q(n, n);
-      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+      timed(obs::Phase::update, "gen_q", res.phases.update_seconds,
+            res.phases.update_flops, [&] {
         lapack::laset(n, n, 0.0, 1.0, q.data(), q.ld());
         onestage::ormtr(op::none, n, n, work.data(), work.ld(), tau.data(),
                         q.data(), q.ld(), opts.nb);
       });
-      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+      timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+            res.phases.solve_flops, [&] {
         lapack::steqr(n, d.data(), e.data(), q.data(), q.ld(), n);
       });
       // SyevResult invariant: with vectors, eigenvalues match z's columns
@@ -135,7 +155,8 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
     }
     case eig_solver::dc: {
       Matrix evec(n, n);
-      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+      timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+            res.phases.solve_flops, [&] {
         tridiag::StedcOptions sopts;
         sopts.crossover = opts.dc_crossover;
         sopts.num_workers = opts.num_workers;
@@ -144,7 +165,8 @@ SyevResult solve_one_stage(idx n, const double* a, idx lda,
       res.eigenvalues.assign(d.begin(), d.begin() + m);
       res.z.reshape(n, m);
       lapack::lacpy(n, m, evec.data(), evec.ld(), res.z.data(), res.z.ld());
-      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+      timed(obs::Phase::update, "update", res.phases.update_seconds,
+            res.phases.update_flops, [&] {
         onestage::ormtr(op::none, n, m, work.data(), work.ld(), tau.data(),
                         res.z.data(), res.z.ld(), opts.nb);
       });
@@ -166,11 +188,13 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
   const idx nb = std::min(opts.nb, std::max<idx>(1, n - 1));
 
   twostage::Sy2sbResult s1;
-  timed(res.phases.stage1_seconds, res.phases.reduction_flops,
+  timed(obs::Phase::stage1, "stage1", res.phases.stage1_seconds,
+        res.phases.reduction_flops,
         [&] { s1 = twostage::sy2sb(n, a, lda, nb, opts.num_workers); });
 
   twostage::Sb2stResult s2;
-  timed(res.phases.stage2_seconds, res.phases.reduction_flops, [&] {
+  timed(obs::Phase::stage2, "stage2", res.phases.stage2_seconds,
+        res.phases.reduction_flops, [&] {
     twostage::Sb2stOptions o2;
     o2.num_workers = opts.num_workers;
     o2.stage2_workers = opts.stage2_workers;
@@ -185,7 +209,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
 
   if (opts.job == jobz::values_only && opts.sel == range::all &&
       opts.solver != eig_solver::bisect) {
-    timed(res.phases.solve_seconds, res.phases.solve_flops,
+    timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+          res.phases.solve_flops,
           [&] { lapack::sterf(n, d.data(), e.data()); });
     res.eigenvalues = d;
     return res;
@@ -193,7 +218,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
   if (opts.sel != range::all || opts.solver == eig_solver::bisect) {
     // Subset path; back-transformation below handles whatever came back.
     std::vector<double> w;
-    timed(res.phases.solve_seconds, res.phases.solve_flops,
+    timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+          res.phases.solve_flops,
           [&] {
             w = tridiag_subset(
                 n, d.data(), e.data(), opts,
@@ -201,7 +227,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
           });
     res.eigenvalues = w;
     if (opts.job == jobz::vectors && res.z.cols() > 0) {
-      timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+      timed(obs::Phase::update, "update", res.phases.update_seconds,
+            res.phases.update_flops, [&] {
         twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(),
                            res.z.cols(), opts.ell, opts.num_workers);
         twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(),
@@ -215,7 +242,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
   switch (opts.solver) {
     case eig_solver::qr: {
       Matrix evec(n, n);
-      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+      timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+            res.phases.solve_flops, [&] {
         lapack::laset(n, n, 0.0, 1.0, evec.data(), evec.ld());
         lapack::steqr(n, d.data(), e.data(), evec.data(), evec.ld(), n);
       });
@@ -227,7 +255,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
     }
     case eig_solver::dc: {
       Matrix evec(n, n);
-      timed(res.phases.solve_seconds, res.phases.solve_flops, [&] {
+      timed(obs::Phase::solve, "solve", res.phases.solve_seconds,
+            res.phases.solve_flops, [&] {
         tridiag::StedcOptions sopts;
         sopts.crossover = opts.dc_crossover;
         sopts.num_workers = opts.num_workers;
@@ -244,7 +273,8 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
 
   // Back-transformation Z = Q1 Q2 E (Eq. 3): the 4 n^3 f phase that the
   // diamond-blocked Q2 and tiled Q1 keep compute-bound.
-  timed(res.phases.update_seconds, res.phases.update_flops, [&] {
+  timed(obs::Phase::update, "update", res.phases.update_seconds,
+        res.phases.update_flops, [&] {
     twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(), m, opts.ell,
                        opts.num_workers);
     twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(), m,
@@ -272,12 +302,41 @@ SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
   // inner TaskGraph::run / parallel_for would serialize anyway, and
   // resolving to the hardware default there would make the recorded options
   // and any worker-count-driven planning lie about the actual execution.
-  o.num_workers = rt::ThreadPool::in_parallel_region()
-                      ? 1
-                      : rt::resolve_num_workers(o.num_workers);
+  const bool nested = rt::ThreadPool::in_parallel_region();
+  o.num_workers = nested ? 1 : rt::resolve_num_workers(o.num_workers);
   if (o.stage2_workers > o.num_workers) o.stage2_workers = o.num_workers;
-  if (o.algo == method::one_stage) return solve_one_stage(n, a, lda, o);
-  return solve_two_stage(n, a, lda, o);
+
+  // Per-solve telemetry export: turn recording on for this call (clearing
+  // anything a previous per-solve export left in the rings) and write the
+  // requested files when the solve returns.  If telemetry is already active
+  // (TSEIG_TRACE / set_export_paths), record into the ongoing session and
+  // just add the extra per-solve files.
+  const bool per_solve = !o.trace_path.empty() || !o.metrics_path.empty();
+  const bool was_enabled = obs::enabled();
+  struct EnableGuard {  // exception-safe restore of the disabled state
+    bool restore = false;
+    ~EnableGuard() {
+      if (restore) obs::set_enabled(false);
+    }
+  } guard;
+  if (per_solve && !was_enabled) {
+    obs::reset();
+    obs::set_enabled(true);
+    guard.restore = true;
+  }
+  // Nested solves (whole-problem batch tasks) must not clobber the outer
+  // scheduler's run metadata.
+  if (obs::enabled() && !nested)
+    obs::set_run_meta({"syev", n, o.nb, o.num_workers});
+
+  SyevResult res = o.algo == method::one_stage ? solve_one_stage(n, a, lda, o)
+                                               : solve_two_stage(n, a, lda, o);
+  if (per_solve) {
+    const obs::Snapshot snap = obs::snapshot();
+    if (!o.trace_path.empty()) obs::write_chrome_trace_file(snap, o.trace_path);
+    if (!o.metrics_path.empty()) obs::write_metrics_file(snap, o.metrics_path);
+  }
+  return res;
 }
 
 }  // namespace tseig::solver

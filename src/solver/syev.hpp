@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -78,6 +79,13 @@ struct SyevOptions {
   idx group = 4;
   /// D&C crossover to QL/QR.
   idx dc_crossover = 32;
+  /// Per-solve telemetry export (tseig::obs): non-empty paths turn recording
+  /// on for this call and write a Chrome/Perfetto trace and/or a
+  /// "tseig-metrics-v1" JSON when the solve returns.  Independent of the
+  /// process-wide TSEIG_TRACE / TSEIG_METRICS environment activation (which
+  /// records everything and exports once at process exit).
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 /// Per-phase instrumentation (seconds and nominal flops).

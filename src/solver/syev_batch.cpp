@@ -1,9 +1,8 @@
 #include "solver/syev_batch.hpp"
 
 #include <algorithm>
-#include <string>
 
-#include "common/timer.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
 
@@ -49,13 +48,21 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
   out.results.resize(problems.size());
   out.stats.problems.resize(problems.size());
 
-  WallTimer clock;
+  // All stamps come off the process-wide telemetry clock; BatchProblemStats
+  // stays relative to the call (its documented time base) via t_base, while
+  // the recorded spans use the absolute values so the batch lines up with
+  // every other subsystem on one timeline.
+  obs::PhaseScope batch_phase(obs::Phase::batch);
+  const double t_base = obs::now_seconds();
   std::vector<idx> small, large;
   for (idx i = 0; i < count; ++i) {
     BatchProblemStats& st = out.stats.problems[static_cast<size_t>(i)];
     st.n = problems[static_cast<size_t>(i)].n;
     st.whole_problem = st.n <= crossover;
-    st.enqueue_seconds = clock.seconds();
+    const double t_enq = obs::now_seconds();
+    st.enqueue_seconds = t_enq - t_base;
+    obs::record_span("batch_enqueue", t_enq, t_enq,
+                     static_cast<std::int32_t>(i));
     (st.whole_problem ? small : large).push_back(i);
   }
   out.stats.whole_problem_count = static_cast<idx>(small.size());
@@ -64,13 +71,18 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
   auto solve_into = [&](idx i, int num_workers) {
     const BatchProblem& p = problems[static_cast<size_t>(i)];
     BatchProblemStats& st = out.stats.problems[static_cast<size_t>(i)];
-    st.start_seconds = clock.seconds();
+    const double t0 = obs::now_seconds();
+    st.start_seconds = t0 - t_base;
     st.worker = std::max(0, rt::TaskGraph::current_worker());
     SyevOptions o = p.opts;
     o.num_workers = num_workers;
     out.results[static_cast<size_t>(i)] = syev(p.n, p.a, p.lda, o);
     st.phases = out.results[static_cast<size_t>(i)].phases;
-    st.end_seconds = clock.seconds();
+    const double t1 = obs::now_seconds();
+    st.end_seconds = t1 - t_base;
+    // Recorded on the executing thread, so the span lands on the lane of
+    // the worker that actually ran the solve.
+    obs::record_span("batch_solve", t0, t1, static_cast<std::int32_t>(i));
   };
 
   // Large problems first: each has enough internal parallelism to use the
@@ -117,22 +129,18 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
     g.run(static_cast<int>(std::min<idx>(budget, static_cast<idx>(small.size()))));
   }
 
-  out.stats.total_seconds = clock.seconds();
+  const double t_end = obs::now_seconds();
+  out.stats.total_seconds = t_end - t_base;
   for (const BatchProblemStats& st : out.stats.problems)
     out.stats.busy_seconds += st.solve_seconds();
 
-  if (opts.trace != nullptr) {
-    for (idx i = 0; i < count; ++i) {
-      const BatchProblemStats& st = out.stats.problems[static_cast<size_t>(i)];
-      std::string tag = ":";
-      tag += std::to_string(i);
-      tag += " n=";
-      tag += std::to_string(st.n);
-      opts.trace->push_back({std::string("batch_enqueue") + tag, st.worker,
-                             st.enqueue_seconds, st.enqueue_seconds});
-      opts.trace->push_back({std::string("batch_solve") + tag, st.worker,
-                             st.start_seconds, st.end_seconds});
-    }
+  if (obs::enabled()) {
+    obs::record_phase_span("batch", obs::Phase::batch, t_base, t_end);
+    // Set last so a large problem's nested syev (which runs on the calling
+    // thread, outside any parallel region) cannot leave its own meta behind.
+    idx max_n = 0;
+    for (const BatchProblem& p : problems) max_n = std::max(max_n, p.n);
+    obs::set_run_meta({"syev_batch", max_n, 0, budget});
   }
   return out;
 }

@@ -53,13 +53,14 @@ struct SyevBatchOptions {
   /// whole-problem-per-worker, larger ones get the full budget one at a
   /// time.  <= 0 selects the default (see kBatchCrossover).  The choice only
   /// affects scheduling, never results.
+  ///
+  /// Timeline inspection goes through the unified telemetry layer
+  /// (tseig::obs, TSEIG_TRACE=<path>): the batch records two spans per
+  /// problem on the shared process-wide epoch -- "batch_enqueue" (a
+  /// zero-duration marker at submission) and "batch_solve" (spanning the
+  /// solve, on the lane of the thread that ran it), both carrying the
+  /// problem index as the span arg.
   idx crossover = 0;
-  /// When non-null, receives two events per problem -- "batch_enqueue:<i>"
-  /// (zero-duration marker at submission time) and "batch_solve:<i>"
-  /// (spanning the solve, on the worker row that ran it) -- measured from
-  /// the syev_batch() call, in the same Chrome-trace plumbing as the stage-2
-  /// chase and the D&C merge tree (see bench_trace_schedule / trace_io).
-  std::vector<rt::TraceEvent>* trace = nullptr;
 };
 
 /// Default inter/intra crossover: below this size a problem's internal task

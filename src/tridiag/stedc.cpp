@@ -10,9 +10,10 @@
 #include "blas/blas1.hpp"
 #include "blas/blas3.hpp"
 #include "common/parallel.hpp"
-#include "common/timer.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
+#include "obs/telemetry.hpp"
+#include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
 
@@ -39,15 +40,15 @@ constexpr idx kGemmColBlock = 64;
 // is O(k) work).
 constexpr idx kSecularGrain = 8;
 
-/// Shared state of one stedc() call: worker budget, thread-safe stats
-/// aggregation, and the optional execution trace.  Merge tasks running on
-/// pool workers accumulate a private StedcStats and flush it exactly once
-/// through add_stats(); the previous thread_local accumulator lost every
-/// count recorded on a borrowed pool thread.
+/// Shared state of one stedc() call: worker budget and thread-safe stats
+/// aggregation.  Merge tasks running on pool workers accumulate a private
+/// StedcStats and flush it exactly once through add_stats(); the previous
+/// thread_local accumulator lost every count recorded on a borrowed pool
+/// thread.  (Timeline recording goes through tseig::obs on the shared
+/// process-wide epoch -- the per-call trace vector, its private clock and
+/// the offset-splicing of TaskGraph traces are gone.)
 struct Ctx {
   int workers = 1;
-  std::vector<rt::TraceEvent>* trace = nullptr;
-  WallTimer clock;  // one time base for all trace events of this call
 
   void add_stats(const StedcStats& s) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -57,18 +58,6 @@ struct Ctx {
     stats_.secular_solves += s.secular_solves;
   }
   StedcStats stats() const { return stats_; }
-
-  /// Records one event on the shared time base (caller-thread work).
-  void emit(const char* label, double t0, double t1) {
-    if (trace != nullptr) trace->push_back({label, 0, t0, t1});
-  }
-  /// Appends a TaskGraph trace, shifting its per-run clock onto ours.
-  void splice(const std::vector<rt::TraceEvent>& events, double offset) {
-    if (trace == nullptr) return;
-    for (const rt::TraceEvent& ev : events)
-      trace->push_back(
-          {ev.label, ev.worker, ev.start_seconds + offset, ev.end_seconds + offset});
-  }
 
 private:
   std::mutex mu_;
@@ -157,7 +146,7 @@ SecularRoot solve_secular(idx k, const double* delta, const double* zsq,
 /// back to one plain GEMM when serial, nested in a pool worker, or too small
 /// to split.
 void gemm_cols(idx rows, idx k, const Matrix& qk, const Matrix& u, Matrix& g,
-               int nw, Ctx& ctx) {
+               int nw) {
   if (nw <= 1 || rt::ThreadPool::in_parallel_region() ||
       k < 2 * kGemmColBlock) {
     blas::gemm(op::none, op::none, rows, k, k, 1.0, qk.data(), qk.ld(),
@@ -165,7 +154,6 @@ void gemm_cols(idx rows, idx k, const Matrix& qk, const Matrix& u, Matrix& g,
     return;
   }
   rt::TaskGraph graph;
-  graph.enable_tracing(ctx.trace != nullptr);
   rt::RegionMap region_map;
   if (graph.validation_enabled()) {
     // Column block starting at c0 of the output G (per-column intervals).
@@ -197,9 +185,7 @@ void gemm_cols(idx rows, idx k, const Matrix& qk, const Matrix& u, Matrix& g,
         },
         {rt::wr(ckey)}, opts);
   }
-  const double t0 = ctx.clock.seconds();
   graph.run(nw);
-  ctx.splice(graph.trace(), t0);
 }
 
 /// Rank-one merge: eigen-decomposes diag(dd) + z z^T where the current
@@ -335,7 +321,7 @@ void rank_one_merge(std::vector<double>& dd, std::vector<double>& zz,
       lapack::lacpy(rows, 1, q.col(cols[static_cast<size_t>(kept[static_cast<size_t>(j)])]),
                     q.ld(), qk.col(j), qk.ld());
     g.reshape(rows, k);
-    gemm_cols(rows, k, qk, u, g, nw, ctx);
+    gemm_cols(rows, k, qk, u, g, nw);
   }
 
   // --- Assemble ascending eigenvalues and matching columns. ---
@@ -479,7 +465,6 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
   // Nested call (stedc itself running inside a pool worker): the outer
   // construct owns the machine, run serially.
   if (rt::ThreadPool::in_parallel_region()) ctx.workers = 1;
-  ctx.trace = opts.trace;
 
   std::vector<Node> nodes;
   build_tree(nodes, 0, n, 0, d, e, std::max<idx>(opts.crossover, 4));
@@ -521,7 +506,6 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
 
     if (leaves_across || merges_across) {
       rt::TaskGraph graph;
-      graph.enable_tracing(ctx.trace != nullptr);
       if (graph.validation_enabled()) graph.set_region_map(&region_map);
       auto submit = [&](idx id, const char* label, bool is_leaf) {
         Node* nd = &nodes[static_cast<size_t>(id)];
@@ -550,24 +534,20 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
         for (idx id : leaves) submit(id, "dc_leaf", true);
       if (merges_across)
         for (idx id : merges) submit(id, "dc_merge", false);
-      const double t0 = ctx.clock.seconds();
       graph.run(ctx.workers);
-      ctx.splice(graph.trace(), t0);
     }
     if (!leaves_across) {
       for (idx id : leaves) {
-        const double t0 = ctx.clock.seconds();
+        obs::Span span("dc_leaf");
         solve_leaf(nodes[static_cast<size_t>(id)], d, e);
-        ctx.emit("dc_leaf", t0, ctx.clock.seconds());
       }
     }
     if (!merges_across) {
       for (idx id : merges) {
         Node& nd = nodes[static_cast<size_t>(id)];
-        const double t0 = ctx.clock.seconds();
+        obs::Span span("dc_merge");
         merge_node(nd, nodes[static_cast<size_t>(nd.left)],
                    nodes[static_cast<size_t>(nd.right)], d, ctx.workers, ctx);
-        ctx.emit("dc_merge", t0, ctx.clock.seconds());
       }
     }
   }

@@ -27,7 +27,6 @@
 
 #include "common/matrix.hpp"
 #include "common/types.hpp"
-#include "runtime/task_graph.hpp"
 
 namespace tseig::tridiag {
 
@@ -38,12 +37,12 @@ struct StedcOptions {
   /// Workers for the merge tree: 1 = fully sequential, > 1 = that many
   /// logical workers on the shared pool, <= 0 = the library default
   /// (TSEIG_NUM_THREADS / hardware concurrency).
+  ///
+  /// Timeline inspection goes through the unified telemetry layer
+  /// (tseig::obs, TSEIG_TRACE=<path>): every leaf solve, merge and
+  /// column-block GEMM records a span ("dc_leaf" / "dc_merge" / "dc_gemm")
+  /// on the shared process-wide epoch.
   int num_workers = 1;
-  /// When non-null, receives one trace event per leaf solve, merge and
-  /// column-block GEMM task ("dc_leaf" / "dc_merge" / "dc_gemm"), with
-  /// times measured from the stedc() call (same Chrome-trace plumbing as
-  /// the stage-2 chase; see bench_trace_schedule).
-  std::vector<rt::TraceEvent>* trace = nullptr;
 };
 
 /// Computes all eigenpairs of the symmetric tridiagonal (d, e).

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lapack/householder.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
@@ -136,8 +137,10 @@ void apply_q2(op trans, const V2Factor& v2, double* e, idx lde, idx ncols,
   };
 
   if (num_workers <= 1) {
-    for (idx c0 = 0; c0 < ncols; c0 += col_block)
+    for (idx c0 = 0; c0 < ncols; c0 += col_block) {
+      obs::Span span("q2_cols");
       process_columns(c0, std::min(col_block, ncols - c0));
+    }
     return;
   }
   rt::TaskGraph graph;

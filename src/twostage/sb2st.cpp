@@ -7,6 +7,7 @@
 #include "blas/blas1.hpp"
 #include "common/flops.hpp"
 #include "lapack/householder.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
@@ -266,6 +267,9 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
           }
         };
         if (!parallel) {
+          // Same "chase" span the graph tasks record, so the serial path
+          // shows up on the unified timeline too (arg = sweep index).
+          obs::Span span("chase", static_cast<std::int32_t>(s));
           body();
           continue;
         }
@@ -292,11 +296,7 @@ Sb2stResult sb2st(const BandMatrix& band, const Sb2stOptions& opts) {
         ++submitted;
       }
     }
-    if (parallel) {
-      if (opts.trace != nullptr) graph.enable_tracing(true);
-      graph.run(num_workers);
-      if (opts.trace != nullptr) *opts.trace = graph.trace();
-    }
+    if (parallel) graph.run(num_workers);
   }
 
   for (idx i = 0; i < n; ++i) result.d[static_cast<size_t>(i)] = wb.at(i, i);

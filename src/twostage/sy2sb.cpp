@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "lapack/aux.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
@@ -121,6 +122,9 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
       opts.label = label;
       graph.submit(std::move(fn), accesses, opts);
     } else {
+      // Sequential path: same kernels, same order; the span keeps the
+      // serial timeline comparable with the parallel one.
+      obs::Span span(label);
       fn();
     }
   };
@@ -330,6 +334,7 @@ void apply_q1(op trans, const Q1Factor& q1, double* g, idx ldg, idx ncols,
       opts.label = label;
       graph.submit(std::move(fn), acc, opts);
     } else {
+      obs::Span span(label);
       fn();
     }
   };

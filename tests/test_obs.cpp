@@ -1,0 +1,196 @@
+// Tests for the unified telemetry layer (tseig::obs): critical-path
+// analysis on hand-built DAGs, JSON escaping and parsing round trips, and a
+// full recorded syev run pushed through both exporters and parsed back --
+// the trace must be valid JSON with monotone spans covering every phase,
+// and the metrics totals must agree with the solver's own PhaseBreakdown.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/telemetry.hpp"
+#include "solver/syev.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+obs::GraphTask node(const char* label, double dur, std::vector<idx> succ) {
+  obs::GraphTask t;
+  t.label = label;
+  t.duration_seconds = dur;
+  t.successors = std::move(succ);
+  return t;
+}
+
+TEST(ObsCriticalPath, DiamondDag) {
+  // A -> {B, C} -> D: the longest path goes through C (1 + 3 + 1).
+  std::vector<obs::GraphTask> dag;
+  dag.push_back(node("A", 1.0, {1, 2}));
+  dag.push_back(node("B", 2.0, {3}));
+  dag.push_back(node("C", 3.0, {3}));
+  dag.push_back(node("D", 1.0, {}));
+  EXPECT_NEAR(obs::critical_path_seconds(dag), 5.0, 1e-12);
+}
+
+TEST(ObsCriticalPath, EmptyChainAndIndependentTasks) {
+  EXPECT_EQ(obs::critical_path_seconds({}), 0.0);
+
+  std::vector<obs::GraphTask> chain;
+  chain.push_back(node("a", 1.0, {1}));
+  chain.push_back(node("b", 2.0, {2}));
+  chain.push_back(node("c", 4.0, {}));
+  EXPECT_NEAR(obs::critical_path_seconds(chain), 7.0, 1e-12);
+
+  // No edges: the critical path is the single longest task.
+  std::vector<obs::GraphTask> indep;
+  indep.push_back(node("a", 1.0, {}));
+  indep.push_back(node("b", 2.5, {}));
+  indep.push_back(node("c", 0.5, {}));
+  EXPECT_NEAR(obs::critical_path_seconds(indep), 2.5, 1e-12);
+}
+
+TEST(ObsJson, EscapeRoundTrip) {
+  const std::string hostile = "a\"b\\c\nd\te\x01f/";
+  const obs::JsonValue v = obs::json_parse(obs::json_string(hostile));
+  EXPECT_EQ(v.as_string(), hostile);
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::json_parse("{\"a\":1} trailing"), invalid_argument);
+  EXPECT_THROW(obs::json_parse("{\"a\":"), invalid_argument);
+  EXPECT_THROW(obs::json_parse(""), invalid_argument);
+}
+
+TEST(Obs, DisabledRecordingIsANoOp) {
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  { obs::Span span("ignored"); }
+  obs::record_span("ignored", 0.0, 1.0);
+  obs::record_counter("ignored", 1.0);
+  const obs::Snapshot snap = obs::snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.graphs.empty());
+}
+
+TEST(Obs, SyevRoundTripThroughExporters) {
+  const idx n = 192;
+  Rng rng(7);
+  const Matrix a = testing::random_symmetric(n, rng);
+  Matrix work = a;
+
+  obs::reset();
+  obs::set_enabled(true);
+  solver::SyevOptions o;
+  o.algo = solver::method::two_stage;
+  o.solver = solver::eig_solver::dc;
+  o.job = solver::jobz::vectors;
+  o.nb = 32;
+  o.num_workers = 4;
+  const solver::SyevResult res = solver::syev(n, work.data(), work.ld(), o);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+
+  ASSERT_FALSE(snap.spans.empty());
+  EXPECT_EQ(snap.dropped_spans, 0u);
+  // Snapshot spans are merged across lanes sorted by start time, and every
+  // span is monotone.
+  for (size_t i = 0; i < snap.spans.size(); ++i) {
+    EXPECT_GE(snap.spans[i].end_seconds, snap.spans[i].start_seconds);
+    if (i > 0) {
+      EXPECT_GE(snap.spans[i].start_seconds, snap.spans[i - 1].start_seconds);
+    }
+  }
+  // With 4 workers on n = 192 at least one phase ran a task graph.
+  EXPECT_FALSE(snap.graphs.empty());
+
+  // --- Chrome trace: must parse as JSON; every complete event monotone;
+  // every two-stage phase covered by at least one span.
+  const std::string trace = obs::to_chrome_trace_json(snap);
+  const obs::JsonValue doc = obs::json_parse(trace);
+  const obs::JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, int> per_phase;
+  for (const obs::JsonValue& ev : events->as_array()) {
+    if (ev.string_or("ph", "") != "X") continue;
+    EXPECT_GE(ev.number_or("dur", -1.0), 0.0);
+    if (const obs::JsonValue* args = ev.find("args"))
+      ++per_phase[args->string_or("phase", "none")];
+  }
+  for (const char* phase : {"stage1", "stage2", "solve", "update"}) {
+    SCOPED_TRACE(phase);
+    EXPECT_GT(per_phase[phase], 0);
+  }
+
+  // --- Metrics: parse back; the per-phase seconds must agree with the
+  // solver's own PhaseBreakdown (same clock stamps, so only JSON formatting
+  // precision in between).
+  const obs::JsonValue mdoc = obs::json_parse(obs::to_metrics_json(snap));
+  const obs::Report rep = obs::report_from_metrics_json(mdoc);
+  EXPECT_TRUE(rep.has_critical_path);
+  EXPECT_GT(rep.wall_seconds, 0.0);
+  EXPECT_GT(rep.work_seconds, 0.0);
+  EXPECT_GT(rep.critical_path_seconds, 0.0);
+  std::map<std::string, double> phase_seconds;
+  for (const obs::PhaseReport& p : rep.phases) phase_seconds[p.name] = p.seconds;
+  const auto near = [](double got, double want) {
+    EXPECT_NEAR(got, want, 1e-6 * want + 1e-9);
+  };
+  near(phase_seconds["stage1"], res.phases.stage1_seconds);
+  near(phase_seconds["stage2"], res.phases.stage2_seconds);
+  near(phase_seconds["solve"], res.phases.solve_seconds);
+  near(phase_seconds["update"], res.phases.update_seconds);
+
+  // The trace embeds the same metrics object, so tseig_prof can rebuild the
+  // full report from the trace file alone.
+  const obs::Report rep2 = obs::report_from_metrics_json(doc);
+  EXPECT_NEAR(rep2.wall_seconds, rep.wall_seconds, 1e-12);
+  EXPECT_NEAR(rep2.critical_path_seconds, rep.critical_path_seconds, 1e-12);
+
+  // A bare-trace reload still reproduces the per-phase utilization.
+  const obs::Report rep3 = obs::report_from_trace_json(doc);
+  EXPECT_FALSE(rep3.has_critical_path);
+  double wall3 = 0.0;
+  for (const obs::PhaseReport& p : rep3.phases)
+    if (p.name == "stage1") wall3 = p.seconds;
+  EXPECT_NEAR(wall3, res.phases.stage1_seconds,
+              1e-5 * res.phases.stage1_seconds + 1e-8);
+}
+
+TEST(Obs, PerSolveExportPathsWriteFilesAndRestoreState) {
+  const idx n = 64;
+  Rng rng(11);
+  Matrix a = testing::random_symmetric(n, rng);
+
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  solver::SyevOptions o;
+  o.num_workers = 2;
+  o.trace_path = "/tmp/tseig_obs_test_trace.json";
+  o.metrics_path = "/tmp/tseig_obs_test_metrics.json";
+  (void)solver::syev(n, a.data(), a.ld(), o);
+  // Recording was enabled only for the duration of the solve.
+  EXPECT_FALSE(obs::enabled());
+
+  for (const std::string& path : {o.trace_path, o.metrics_path}) {
+    SCOPED_TRACE(path);
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::stringstream buf;
+    buf << f.rdbuf();
+    EXPECT_NO_THROW(obs::json_parse(buf.str()));
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace tseig

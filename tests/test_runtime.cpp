@@ -175,7 +175,7 @@ TEST(Runtime, TracingRecordsWorkerAssignment) {
   // Each pinned task must have run on its hinted worker.
   std::set<int> seen;
   for (const auto& ev : g.trace()) {
-    EXPECT_EQ(ev.label, "pinned");
+    EXPECT_STREQ(ev.label, "pinned");
     EXPECT_GE(ev.worker, 0);
     EXPECT_LT(ev.worker, workers);
     EXPECT_LE(ev.start_seconds, ev.end_seconds);

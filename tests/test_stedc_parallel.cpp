@@ -5,6 +5,7 @@
 // call-wide StedcStats aggregated correctly from concurrent merge tasks.
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/task_graph.hpp"
 #include "test_support.hpp"
 #include "tridiag/stedc.hpp"
@@ -171,19 +173,24 @@ TEST(StedcParallel, TraceCoversLeavesAndMerges) {
   rng.fill_uniform(d.data(), n);
   rng.fill_uniform(e.data(), n - 1);
 
-  std::vector<rt::TraceEvent> trace;
+  // Record through the unified telemetry layer: graph tasks and serial
+  // fallbacks both land in the obs rings under one epoch.
+  obs::reset();
+  obs::set_enabled(true);
   tridiag::StedcOptions opts;
   opts.crossover = 16;
   opts.num_workers = 4;
-  opts.trace = &trace;
   Matrix z(n, n);
   tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), opts);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  EXPECT_EQ(snap.dropped_spans, 0u);
 
   idx leaves = 0, merges = 0;
-  for (const rt::TraceEvent& ev : trace) {
+  for (const obs::SpanRecord& ev : snap.spans) {
     EXPECT_GE(ev.end_seconds, ev.start_seconds);
-    if (ev.label == "dc_leaf") ++leaves;
-    if (ev.label == "dc_merge") ++merges;
+    if (std::strcmp(ev.label, "dc_leaf") == 0) ++leaves;
+    if (std::strcmp(ev.label, "dc_merge") == 0) ++merges;
   }
   // crossover 16 on n = 300 gives > 16 leaves and at least as many merges.
   EXPECT_GT(leaves, 8);

@@ -3,6 +3,7 @@
 // reorder and re-budget work but never change answers), and the BatchStats
 // record must be internally consistent.
 #include <cstdlib>
+#include <cstring>
 
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 #include "solver/syev.hpp"
 #include "solver/syev_batch.hpp"
 #include "test_support.hpp"
@@ -269,25 +271,36 @@ TEST(SyevBatch, TraceEmitsTwoEventsPerProblem) {
   Rng rng(15);
   const std::vector<BatchProblem> batch = make_mixed_batch(storage, rng);
 
-  std::vector<rt::TraceEvent> trace;
+  obs::reset();
+  obs::set_enabled(true);
   SyevBatchOptions bopts;
   bopts.num_workers = 2;
-  bopts.trace = &trace;
   syev_batch(batch, bopts);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
 
-  ASSERT_EQ(trace.size(), 2 * batch.size());
-  idx enqueues = 0, solves = 0;
-  for (const rt::TraceEvent& ev : trace) {
+  // The scheduler stamps the problem index into the span arg; the graph's
+  // own task spans (same "batch_solve" label) carry arg -1.  Other producers
+  // (sytrd panels, chase sweeps) also use arg, so match on label first.
+  std::vector<int> enqueued(batch.size(), 0), solved(batch.size(), 0);
+  for (const obs::SpanRecord& ev : snap.spans) {
     EXPECT_GE(ev.end_seconds, ev.start_seconds);
-    if (ev.label.rfind("batch_enqueue:", 0) == 0) {
+    const bool is_enqueue = std::strcmp(ev.label, "batch_enqueue") == 0;
+    const bool is_solve = std::strcmp(ev.label, "batch_solve") == 0;
+    if ((!is_enqueue && !is_solve) || ev.arg < 0) continue;
+    ASSERT_LT(static_cast<size_t>(ev.arg), batch.size());
+    if (is_enqueue) {
       EXPECT_EQ(ev.end_seconds, ev.start_seconds);  // zero-duration marker
-      ++enqueues;
-    } else if (ev.label.rfind("batch_solve:", 0) == 0) {
-      ++solves;
+      ++enqueued[static_cast<size_t>(ev.arg)];
+    } else {
+      ++solved[static_cast<size_t>(ev.arg)];
     }
   }
-  EXPECT_EQ(enqueues, static_cast<idx>(batch.size()));
-  EXPECT_EQ(solves, static_cast<idx>(batch.size()));
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE("problem " + std::to_string(i));
+    EXPECT_EQ(enqueued[i], 1);
+    EXPECT_EQ(solved[i], 1);
+  }
 }
 
 TEST(SyevBatch, RejectsMalformedProblemsBeforeSolving) {

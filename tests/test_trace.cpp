@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/json.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/trace_io.hpp"
 
@@ -67,6 +68,36 @@ TEST(TraceIo, SummaryAccountsAllTasks) {
   EXPECT_GT(total, 0.0);
   // Busy time can never exceed workers * makespan.
   EXPECT_LE(total, s.busy_seconds.size() * s.makespan * 1.0001 + 1e-9);
+}
+
+TEST(TraceIo, EscapesHostileLabels) {
+  // Regression: labels containing '"' or '\' used to be pasted verbatim into
+  // the JSON, producing a document Perfetto rejects.
+  rt::TraceEvent ev;
+  ev.label = "evil \"quote\" and \\backslash\\ and \ttab";
+  ev.worker = 0;
+  ev.start_seconds = 0.5;
+  ev.end_seconds = 1.5;
+  const std::string json = rt::to_chrome_trace({ev});
+  const obs::JsonValue doc = obs::json_parse(json);  // throws if malformed
+  const auto& events = doc.find("traceEvents")->as_array();
+  ASSERT_EQ(events.size(), 1u);
+  // The parser unescapes back to the original label: a true round trip.
+  EXPECT_EQ(events[0].string_or("name", ""), ev.label);
+}
+
+TEST(TraceIo, SummarizeMakespanIsExtentNotMaxEnd) {
+  // Regression: timestamps sit on the shared process-wide epoch, so they do
+  // not start near zero.  Makespan must be max(end) - min(start).
+  std::vector<rt::TraceEvent> events;
+  events.push_back({"a", -1, 0, 1000.0, 1000.5});
+  events.push_back({"b", -1, 1, 1000.25, 1001.0});
+  const auto s = rt::summarize(events);
+  EXPECT_EQ(s.tasks, 2);
+  EXPECT_NEAR(s.makespan, 1.0, 1e-9);
+  ASSERT_EQ(s.busy_seconds.size(), 2u);
+  EXPECT_NEAR(s.busy_seconds[0], 0.5, 1e-9);
+  EXPECT_NEAR(s.busy_seconds[1], 0.75, 1e-9);
 }
 
 TEST(TraceIo, EmptyTrace) {

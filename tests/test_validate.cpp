@@ -49,7 +49,7 @@ struct ConfigGuard {
 // ---- RegionExtent ----------------------------------------------------------
 
 TEST(RegionExtent, ContiguousOverlap) {
-  double buf[16];
+  double buf[16] = {};
   RegionExtent a, b, c;
   a.add(buf, 8 * sizeof(double));
   b.add(buf + 4, 8 * sizeof(double));
@@ -65,7 +65,7 @@ TEST(RegionExtent, ContiguousOverlap) {
 TEST(RegionExtent, StridedColumnsDoNotFalselyOverlap) {
   // Two interleaved column sets of an ld=8 matrix: bounding boxes overlap,
   // per-column intervals do not.
-  double buf[8 * 6];
+  double buf[8 * 6] = {};
   RegionExtent even, odd;
   for (int c = 0; c < 6; c += 2) even.add(buf + c * 8, 4 * sizeof(double));
   for (int c = 1; c < 6; c += 2) odd.add(buf + c * 8, 4 * sizeof(double));
@@ -80,7 +80,7 @@ TEST(RegionExtent, StridedColumnsDoNotFalselyOverlap) {
 }
 
 TEST(RegionExtent, NormalizeMergesAdjacentParts) {
-  double buf[12];
+  double buf[12] = {};
   RegionExtent e;
   e.add(buf + 4, 4 * sizeof(double));
   e.add(buf, 4 * sizeof(double));

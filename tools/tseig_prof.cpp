@@ -1,0 +1,77 @@
+// tseig_prof: prints the critical-path / utilization report from a telemetry
+// export -- either a metrics JSON ("tseig-metrics-v1", written via
+// TSEIG_METRICS=<path>) or a Chrome/Perfetto trace (TSEIG_TRACE=<path>).
+// Traces written by this library embed the full metrics object under the
+// "tseigMetrics" key, so both formats yield the complete report; a foreign
+// bare trace degrades to per-phase utilization without the critical path.
+//
+// Usage: tseig_prof FILE [FILE...]
+//
+//   TSEIG_TRACE=/tmp/run.json ./bench_fig1_breakdown
+//   tseig_prof /tmp/run.json
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+int run_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "tseig_prof: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+
+  tseig::obs::JsonValue doc;
+  try {
+    doc = tseig::obs::json_parse(buf.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tseig_prof: %s: %s\n", path.c_str(), e.what());
+    return 1;
+  }
+
+  tseig::obs::Report rep;
+  try {
+    // Prefer the metrics view (exact totals, critical path); fall back to
+    // re-aggregating the raw trace events.
+    rep = tseig::obs::report_from_metrics_json(doc);
+  } catch (const std::exception&) {
+    try {
+      rep = tseig::obs::report_from_trace_json(doc);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "tseig_prof: %s: neither a tseig-metrics-v1 document nor "
+                   "a Chrome trace (%s)\n",
+                   path.c_str(), e.what());
+      return 1;
+    }
+  }
+  std::printf("%s\n%s", path.c_str(),
+              tseig::obs::format_report(rep).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tseig_prof FILE [FILE...]\n"
+                 "  FILE: a TSEIG_METRICS json or a TSEIG_TRACE Chrome "
+                 "trace\n");
+    return 2;
+  }
+  int status = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) std::printf("\n");
+    status |= run_file(argv[i]);
+  }
+  return status;
+}
