@@ -1,0 +1,137 @@
+// A/B sweep of the runtime-dispatched SIMD microkernel tiers (blas/kernels/).
+//
+// Runs square DGEMM at a range of sizes once per available tier (scalar,
+// AVX2, AVX-512, NEON -- whatever this binary carries and this host
+// supports) by overriding the dispatcher in-process, and reports GFLOP/s per
+// tier plus each tier's speedup over the scalar baseline.  This is the
+// acceptance gate for the kernel engine: on a wide host the best tier must
+// deliver >= 2x scalar at n = 1024, from ONE binary, with no -march=native
+// required at build time.
+//
+// Usage: bench_gemm_kernels [--nmax N] [--reps R] [--json /path/out.json]
+//
+// --json writes a "tseig-bench-gemm-v1" document (committed as
+// BENCH_gemm.json at the repo root so the speedup is on record per host).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support.hpp"
+#include "blas/blas3.hpp"
+#include "blas/kernels/registry.hpp"
+#include "common/rng.hpp"
+
+using namespace tseig;
+namespace kern = blas::kernels;
+
+namespace {
+
+struct Cell {
+  const char* kernel;
+  idx n;
+  double seconds;
+  double gflops() const {
+    return 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+           static_cast<double>(n) / seconds * 1e-9;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const idx nmax = bench::arg_idx(argc, argv, "--nmax", 1024);
+  const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
+  const std::string json = bench::arg_string(argc, argv, "--json");
+
+  std::vector<idx> sizes;
+  for (idx n : {static_cast<idx>(128), static_cast<idx>(256),
+                static_cast<idx>(512), static_cast<idx>(1024),
+                static_cast<idx>(2048)})
+    if (n <= nmax) sizes.push_back(n);
+  if (sizes.empty() || sizes.back() != nmax) sizes.push_back(nmax);
+
+  const auto tiers = kern::available_kernels();
+  std::printf("gemm microkernel tiers: ");
+  for (const kern::Kernel* t : tiers)
+    std::printf("%s(%lldx%lld) ", t->name, (long long)t->mr,
+                (long long)t->nr);
+  std::printf(" | auto-dispatch picks %s\n\n", kern::active_kernel_name());
+
+  // Largest problem allocated once, all sizes run on its leading corner.
+  Rng rng(42);
+  const idx nbig = sizes.back();
+  std::vector<double> a(static_cast<size_t>(nbig) * nbig);
+  std::vector<double> b(static_cast<size_t>(nbig) * nbig);
+  std::vector<double> c(static_cast<size_t>(nbig) * nbig);
+  rng.fill_uniform(a.data(), static_cast<idx>(a.size()));
+  rng.fill_uniform(b.data(), static_cast<idx>(b.size()));
+
+  std::vector<Cell> cells;
+  std::vector<std::string> cols;
+  for (idx n : sizes) cols.push_back("n=" + std::to_string(n));
+  bench::print_header("GFLOP/s", cols);
+
+  for (const kern::Kernel* tier : tiers) {
+    kern::select_kernel(tier);
+    std::vector<double> row;
+    for (idx n : sizes) {
+      const double s = bench::time_best(reps, [&] {
+        blas::gemm(op::none, op::none, n, n, n, 1.0, a.data(), nbig,
+                   b.data(), nbig, 0.0, c.data(), nbig);
+      });
+      cells.push_back({tier->name, n, s});
+      row.push_back(cells.back().gflops());
+    }
+    bench::print_row(tier->name, row);
+  }
+  kern::select_kernel(nullptr);
+
+  // Speedup of every wide tier over scalar at the largest size.
+  const auto find_cell = [&](const char* kname, idx n) -> const Cell* {
+    for (const Cell& cell : cells)
+      if (std::string(cell.kernel) == kname && cell.n == n) return &cell;
+    return nullptr;
+  };
+  const idx nhead = sizes.back();
+  const Cell* scalar = find_cell("scalar", nhead);
+  if (scalar != nullptr && tiers.size() > 1) {
+    std::printf("\nheadline (n=%lld): ", (long long)nhead);
+    for (const kern::Kernel* tier : tiers) {
+      if (std::string(tier->name) == "scalar") continue;
+      const Cell* cell = find_cell(tier->name, nhead);
+      if (cell != nullptr)
+        std::printf("%s %.2fx over scalar  ", tier->name,
+                    scalar->seconds / cell->seconds);
+    }
+    std::printf("\n");
+  }
+
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::printf("cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"schema\": \"tseig-bench-gemm-v1\",\n");
+    std::fprintf(f, "  \"dispatch\": \"%s\",\n", kern::active_kernel_name());
+    std::fprintf(f, "  \"tiers\": [");
+    for (size_t i = 0; i < tiers.size(); ++i)
+      std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "", tiers[i]->name);
+    std::fprintf(f, "],\n  \"reps\": %d,\n  \"results\": [\n", reps);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const Cell& cell = cells[i];
+      const Cell* base = find_cell("scalar", cell.n);
+      std::fprintf(f,
+                   "    {\"kernel\": \"%s\", \"n\": %lld, \"seconds\": "
+                   "%.6e, \"gflops\": %.3f, \"speedup_vs_scalar\": %.3f}%s\n",
+                   cell.kernel, (long long)cell.n, cell.seconds,
+                   cell.gflops(),
+                   base != nullptr ? base->seconds / cell.seconds : 1.0,
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("sweep written to %s\n", json.c_str());
+  }
+  return 0;
+}

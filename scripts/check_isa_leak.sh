@@ -1,0 +1,91 @@
+#!/bin/sh
+# Verifies that wide SIMD instructions stay inside the microkernel tier
+# translation units (src/blas/kernels/kernel_*.cpp).  The runtime-dispatch
+# design only works if a generic binary never executes AVX2/AVX-512 outside
+# the guarded tiers: one leaked vmovupd ymm in a common TU would SIGILL every
+# pre-AVX host before the dispatcher even runs.
+#
+# Policy, per object file of the tseig library:
+#   kernel_avx512.o  -- anything goes (it IS the AVX-512 tier);
+#   kernel_avx2.o    -- ymm allowed, zmm forbidden (built -mavx2 -mno-avx512f);
+#   everything else  -- no ymm, no zmm.
+#
+# Only meaningful on a build whose global flags do not enable AVX themselves,
+# so the check requires TSEIG_NATIVE=OFF in the build's CMake cache and skips
+# (exit 0, with a notice) otherwise.  x86-only; skips on other arches.
+#
+# Usage: scripts/check_isa_leak.sh [build-dir]   (default: build)
+set -e
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+
+case "$(uname -m)" in
+  x86_64|i*86) ;;
+  *) echo "check_isa_leak: non-x86 host, skipping"; exit 0 ;;
+esac
+
+if ! command -v objdump >/dev/null 2>&1; then
+  echo "check_isa_leak: objdump not found, skipping"
+  exit 0
+fi
+
+CACHE="$BUILD/CMakeCache.txt"
+if [ ! -f "$CACHE" ]; then
+  echo "check_isa_leak: no CMake cache at $CACHE" >&2
+  exit 1
+fi
+if ! grep -q '^TSEIG_NATIVE:BOOL=OFF' "$CACHE"; then
+  echo "check_isa_leak: build uses native flags (TSEIG_NATIVE!=OFF);" \
+       "wide instructions are legal everywhere, skipping"
+  exit 0
+fi
+
+OBJDIR=$(dirname "$(find "$BUILD" -path '*tseig.dir*' -name 'blas3*.o*' \
+                   | head -n 1)")
+if [ -z "$OBJDIR" ] || [ ! -d "$OBJDIR" ]; then
+  echo "check_isa_leak: cannot locate tseig object files under $BUILD" >&2
+  exit 1
+fi
+
+# Register operands in the disassembly are the ISA fingerprint: %ymmN means
+# AVX/AVX2, %zmmN (or an opmask %kN alongside) means AVX-512.
+uses_reg() { # obj regex
+  objdump -d "$1" 2>/dev/null | grep -Eq "%$2[0-9]"
+}
+
+fail=0
+checked=0
+for obj in $(find "$OBJDIR" -name '*.o' -o -name '*.obj' | sort); do
+  base=$(basename "$obj")
+  checked=$((checked + 1))
+  case "$base" in
+    kernel_avx512*)
+      ;;  # the AVX-512 tier: wide by design
+    kernel_avx2*)
+      if uses_reg "$obj" zmm; then
+        echo "LEAK: $base contains AVX-512 (zmm) instructions"
+        fail=1
+      fi
+      ;;
+    *)
+      if uses_reg "$obj" zmm; then
+        echo "LEAK: $base contains AVX-512 (zmm) instructions"
+        fail=1
+      fi
+      if uses_reg "$obj" ymm; then
+        echo "LEAK: $base contains AVX (ymm) instructions"
+        fail=1
+      fi
+      ;;
+  esac
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_isa_leak: found no objects to inspect under $OBJDIR" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_isa_leak: FAILED ($checked objects inspected)" >&2
+  exit 1
+fi
+echo "check_isa_leak: OK ($checked objects, wide SIMD confined to kernel TUs)"

@@ -1,199 +1,60 @@
 #include "blas/blas3.hpp"
 
 #include <algorithm>
-#include <immintrin.h>
 #include <vector>
 
+#include "blas/kernels/registry.hpp"
 #include "common/flops.hpp"
 #include "common/parallel.hpp"
+
+// NOTE: this TU is compiled with -ffp-contract=off (see src/CMakeLists.txt).
+// The small-problem loops below must round every product before adding it,
+// exactly like the packed microkernels in src/blas/kernels/, or the two
+// paths of blas::gemm would diverge bitwise across the size threshold.
 
 namespace tseig::blas {
 namespace {
 
-// Register tile of the microkernel.  With AVX-512 a 16x8 C tile uses 16 zmm
-// accumulators plus streams; the portable fallback uses a tile small enough
-// for the autovectorizer.
-#if defined(__AVX512F__) && defined(__FMA__)
-constexpr idx MR = 16;
-constexpr idx NR = 8;
-#else
-constexpr idx MR = 8;
-constexpr idx NR = 4;
-#endif
-// Cache blocking: KC*MR doubles of A stream through L1, MC*KC panel of A
-// lives in L2, KC*NC panel of B lives in L3/memory.
-constexpr idx MC = 128;
-constexpr idx KC = 256;
-constexpr idx NC = 4096;
+using kernels::kKC;
+using kernels::kMC;
+using kernels::kNC;
 
-#if defined(__AVX512F__) && defined(__FMA__)
-/// AVX-512 microkernel for the full 16x8 tile.
-void micro_kernel_full(idx kc, double alpha, const double* ap,
-                       const double* bp, double* c, idx ldc) {
-  __m512d acc0[NR], acc1[NR];
-  for (idx j = 0; j < NR; ++j) {
-    acc0[j] = _mm512_setzero_pd();
-    acc1[j] = _mm512_setzero_pd();
-  }
-  for (idx p = 0; p < kc; ++p) {
-    const __m512d a0 = _mm512_loadu_pd(ap + p * MR);
-    const __m512d a1 = _mm512_loadu_pd(ap + p * MR + 8);
-    const double* b = bp + p * NR;
-    for (idx j = 0; j < NR; ++j) {
-      const __m512d bj = _mm512_set1_pd(b[j]);
-      acc0[j] = _mm512_fmadd_pd(a0, bj, acc0[j]);
-      acc1[j] = _mm512_fmadd_pd(a1, bj, acc1[j]);
-    }
-  }
-  const __m512d va = _mm512_set1_pd(alpha);
-  for (idx j = 0; j < NR; ++j) {
-    double* cj = c + j * ldc;
-    _mm512_storeu_pd(cj, _mm512_fmadd_pd(va, acc0[j], _mm512_loadu_pd(cj)));
-    _mm512_storeu_pd(cj + 8,
-                     _mm512_fmadd_pd(va, acc1[j], _mm512_loadu_pd(cj + 8)));
-  }
-}
-#endif
+/// Problems at or below this flop volume skip packing entirely (the packing
+/// overhead would dominate).  The small path reproduces the blocked path's
+/// arithmetic bitwise: same KC chunking, same product-then-add rounding,
+/// alpha applied once per chunk.
+constexpr idx kSmallThreshold = 16 * 1024;
 
-/// Microkernel: C(0:mr,0:nr) += alpha * Ap * Bp where Ap is an MR-wide packed
-/// micro-panel (kc steps) and Bp an NR-wide packed micro-panel.
-void micro_kernel(idx kc, double alpha, const double* ap, const double* bp,
-                  double* c, idx ldc, idx mr, idx nr) {
-#if defined(__AVX512F__) && defined(__FMA__)
-  if (mr == MR && nr == NR) {
-    micro_kernel_full(kc, alpha, ap, bp, c, ldc);
-    return;
-  }
-#endif
-  double acc[MR * NR] = {};
-  for (idx p = 0; p < kc; ++p) {
-    const double* a = ap + p * MR;
-    const double* b = bp + p * NR;
-    for (idx j = 0; j < NR; ++j) {
-      const double bj = b[j];
-      for (idx i = 0; i < MR; ++i) {
-        acc[j * MR + i] += a[i] * bj;
-      }
-    }
-  }
-  if (mr == MR && nr == NR) {
-    for (idx j = 0; j < NR; ++j) {
-      double* cj = c + j * ldc;
-      for (idx i = 0; i < MR; ++i) cj[i] += alpha * acc[j * MR + i];
-    }
-  } else {
-    for (idx j = 0; j < nr; ++j) {
-      double* cj = c + j * ldc;
-      for (idx i = 0; i < mr; ++i) cj[i] += alpha * acc[j * MR + i];
-    }
-  }
-}
+/// Thread-local Level-3 worker budget (see blas3.hpp).  0 = unset.
+thread_local int t_kernel_workers = 0;
 
-/// Packs an mc-by-kc block of the left operand into MR-row micro-panels,
-/// padding the ragged edge with zeros.  `ea(i, p)` reads logical element
-/// (ic + i, pc + p) of op(A).
+/// Packs an mc-by-kc block of the left operand into MR-row micro-panels for
+/// the active tier, padding the ragged edge with zeros.  `ea(i, p)` reads
+/// logical element (ic + i, pc + p) of op(A).  Accessor fallback for
+/// symm/syrk/trmm operands; raw gemm operands use the tier's contiguous
+/// packers instead.
 template <class EA>
-void pack_a(idx mc, idx kc, EA&& ea, double* buf) {
-  for (idx i0 = 0; i0 < mc; i0 += MR) {
-    const idx mr = std::min(MR, mc - i0);
+void pack_a_generic(idx mr_tile, idx mc, idx kc, EA&& ea, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += mr_tile) {
+    const idx mr = std::min(mr_tile, mc - i0);
     for (idx p = 0; p < kc; ++p) {
-      for (idx i = 0; i < mr; ++i) buf[p * MR + i] = ea(i0 + i, p);
-      for (idx i = mr; i < MR; ++i) buf[p * MR + i] = 0.0;
+      for (idx i = 0; i < mr; ++i) buf[p * mr_tile + i] = ea(i0 + i, p);
+      for (idx i = mr; i < mr_tile; ++i) buf[p * mr_tile + i] = 0.0;
     }
-    buf += kc * MR;
+    buf += kc * mr_tile;
   }
 }
 
 /// Packs a kc-by-nc block of the right operand into NR-column micro-panels.
 template <class EB>
-void pack_b(idx kc, idx nc, EB&& eb, double* buf) {
-  for (idx j0 = 0; j0 < nc; j0 += NR) {
-    const idx nr = std::min(NR, nc - j0);
+void pack_b_generic(idx nr_tile, idx kc, idx nc, EB&& eb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += nr_tile) {
+    const idx nr = std::min(nr_tile, nc - j0);
     for (idx p = 0; p < kc; ++p) {
-      for (idx j = 0; j < nr; ++j) buf[p * NR + j] = eb(p, j0 + j);
-      for (idx j = nr; j < NR; ++j) buf[p * NR + j] = 0.0;
+      for (idx j = 0; j < nr; ++j) buf[p * nr_tile + j] = eb(p, j0 + j);
+      for (idx j = nr; j < nr_tile; ++j) buf[p * nr_tile + j] = 0.0;
     }
-    buf += kc * NR;
-  }
-}
-
-// Concrete packers for raw column-major operands.  These contiguous-copy
-// loops are several times faster than the element-accessor fallbacks; tile
-// algorithms hit GEMM at nb-sized operands where packing is not amortized by
-// the O(n^3) compute, so this matters for the whole stage-1 rate.
-
-/// op(A) = A (element (i,p) = a[i + p*lda]): columns are contiguous.
-void pack_a_notrans(idx mc, idx kc, const double* a, idx lda, double* buf) {
-  for (idx i0 = 0; i0 < mc; i0 += MR) {
-    const idx mr = std::min(MR, mc - i0);
-    if (mr == MR) {
-      for (idx p = 0; p < kc; ++p) {
-        const double* src = a + i0 + p * lda;
-        double* dst = buf + p * MR;
-        for (idx i = 0; i < MR; ++i) dst[i] = src[i];
-      }
-    } else {
-      for (idx p = 0; p < kc; ++p) {
-        const double* src = a + i0 + p * lda;
-        double* dst = buf + p * MR;
-        for (idx i = 0; i < mr; ++i) dst[i] = src[i];
-        for (idx i = mr; i < MR; ++i) dst[i] = 0.0;
-      }
-    }
-    buf += kc * MR;
-  }
-}
-
-/// op(A) = A^T (element (i,p) = a[p + i*lda]): rows of the packed panel are
-/// contiguous in the source.
-void pack_a_trans(idx mc, idx kc, const double* a, idx lda, double* buf) {
-  for (idx i0 = 0; i0 < mc; i0 += MR) {
-    const idx mr = std::min(MR, mc - i0);
-    for (idx p = 0; p < kc; ++p)
-      for (idx i = mr; i < MR; ++i) buf[p * MR + i] = 0.0;
-    for (idx i = 0; i < mr; ++i) {
-      const double* src = a + (i0 + i) * lda;
-      for (idx p = 0; p < kc; ++p) buf[p * MR + i] = src[p];
-    }
-    buf += kc * MR;
-  }
-}
-
-/// op(B) = B (element (p,j) = b[p + j*ldb]).
-void pack_b_notrans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
-  for (idx j0 = 0; j0 < nc; j0 += NR) {
-    const idx nr = std::min(NR, nc - j0);
-    if (nr < NR) {
-      for (idx p = 0; p < kc; ++p)
-        for (idx j = nr; j < NR; ++j) buf[p * NR + j] = 0.0;
-    }
-    for (idx j = 0; j < nr; ++j) {
-      const double* src = b + (j0 + j) * ldb;
-      for (idx p = 0; p < kc; ++p) buf[p * NR + j] = src[p];
-    }
-    buf += kc * NR;
-  }
-}
-
-/// op(B) = B^T (element (p,j) = b[j + p*ldb]): packed rows are contiguous.
-void pack_b_trans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
-  for (idx j0 = 0; j0 < nc; j0 += NR) {
-    const idx nr = std::min(NR, nc - j0);
-    if (nr == NR) {
-      for (idx p = 0; p < kc; ++p) {
-        const double* src = b + j0 + p * ldb;
-        double* dst = buf + p * NR;
-        for (idx j = 0; j < NR; ++j) dst[j] = src[j];
-      }
-    } else {
-      for (idx p = 0; p < kc; ++p) {
-        const double* src = b + j0 + p * ldb;
-        double* dst = buf + p * NR;
-        for (idx j = 0; j < nr; ++j) dst[j] = src[j];
-        for (idx j = nr; j < NR; ++j) dst[j] = 0.0;
-      }
-    }
-    buf += kc * NR;
+    buf += kc * nr_tile;
   }
 }
 
@@ -211,50 +72,81 @@ void scale_c(idx m, idx n, double beta, double* c, idx ldc) {
   }
 }
 
-/// Per-thread packing buffers, reused across calls (tile algorithms issue
-/// many nb-sized GEMMs; a heap allocation per call would dominate them).
-double* pack_buffer_a(idx count) {
-  thread_local std::vector<double> buf;
-  if (static_cast<idx>(buf.size()) < count)
-    buf.resize(static_cast<size_t>(count));
-  return buf.data();
+/// Per-thread packing buffer, reused across calls (tile algorithms issue
+/// many nb-sized GEMMs; a heap allocation per call would dominate them) but
+/// released on shrink: one huge gemm must not pin KC*NC doubles per worker
+/// for the rest of the process.  Every kProbeWindow calls the high-water
+/// mark of that window is compared against the held capacity; holding more
+/// than twice the recent demand triggers a reallocation down to it.
+class PackBuffer {
+public:
+  double* get(idx count) {
+    if (static_cast<idx>(buf_.size()) < count)
+      buf_.resize(static_cast<size_t>(count));
+    window_max_ = std::max(window_max_, count);
+    if (++calls_ >= kProbeWindow) {
+      if (static_cast<idx>(buf_.capacity()) > 2 * window_max_) {
+        buf_.resize(static_cast<size_t>(window_max_));
+        buf_.shrink_to_fit();
+      }
+      calls_ = 0;
+      window_max_ = 0;
+    }
+    return buf_.data();
+  }
+
+  idx capacity() const { return static_cast<idx>(buf_.capacity()); }
+
+private:
+  static constexpr int kProbeWindow = 64;
+  std::vector<double> buf_;
+  idx window_max_ = 0;
+  int calls_ = 0;
+};
+
+PackBuffer& pack_store_a() {
+  thread_local PackBuffer buf;
+  return buf;
 }
-double* pack_buffer_b(idx count) {
-  thread_local std::vector<double> buf;
-  if (static_cast<idx>(buf.size()) < count)
-    buf.resize(static_cast<size_t>(count));
-  return buf.data();
+PackBuffer& pack_store_b() {
+  thread_local PackBuffer buf;
+  return buf;
 }
 
 /// Cache-blocked driver: C += alpha * A B with operands delivered through
 /// block packers packa(ic, pc, mc, kc, buf) / packb(pc, jc, kc, nc, buf).
-/// C must already be scaled by beta.
+/// C must already be scaled by beta.  All flops run in the active tier's
+/// microkernel; row-block parallelism is capped by kernel_workers().
 template <class PA, class PB>
 void gemm_blocked(idx m, idx n, idx k, double alpha, PA&& packa, PB&& packb,
                   double* c, idx ldc) {
-  const idx kc_max = std::min(KC, k);
-  const idx nc_max = std::min(NC, n);
-  double* bbuf =
-      pack_buffer_b(kc_max * ((nc_max + NR - 1) / NR) * NR);
-  for (idx jc = 0; jc < n; jc += NC) {
-    const idx nc = std::min(NC, n - jc);
-    for (idx pc = 0; pc < k; pc += KC) {
-      const idx kc = std::min(KC, k - pc);
+  const kernels::Kernel& kern = kernels::active_kernel();
+  const idx mr_tile = kern.mr;
+  const idx nr_tile = kern.nr;
+  const idx kc_max = std::min(kKC, k);
+  const idx nc_max = std::min(kNC, n);
+  double* bbuf = pack_store_b().get(
+      kc_max * ((nc_max + nr_tile - 1) / nr_tile) * nr_tile);
+  for (idx jc = 0; jc < n; jc += kNC) {
+    const idx nc = std::min(kNC, n - jc);
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min(kKC, k - pc);
       packb(pc, jc, kc, nc, bbuf);
-      const idx nic = (m + MC - 1) / MC;
-      parallel_for(0, nic, 1, [&](idx bi) {
-        const idx ic = bi * MC;
-        const idx mc = std::min(MC, m - ic);
-        double* abuf = pack_buffer_a(((mc + MR - 1) / MR) * MR * kc);
+      const idx nic = (m + kMC - 1) / kMC;
+      parallel_for(kernel_workers(), 0, nic, 1, [&](idx bi) {
+        const idx ic = bi * kMC;
+        const idx mc = std::min(kMC, m - ic);
+        double* abuf = pack_store_a().get(
+            ((mc + mr_tile - 1) / mr_tile) * mr_tile * kc);
         packa(ic, pc, mc, kc, abuf);
-        for (idx j0 = 0; j0 < nc; j0 += NR) {
-          const idx nr = std::min(NR, nc - j0);
-          const double* bp = bbuf + (j0 / NR) * (kc * NR);
-          for (idx i0 = 0; i0 < mc; i0 += MR) {
-            const idx mr = std::min(MR, mc - i0);
-            const double* ap = abuf + (i0 / MR) * (kc * MR);
-            micro_kernel(kc, alpha, ap, bp,
-                         c + (ic + i0) + (jc + j0) * ldc, ldc, mr, nr);
+        for (idx j0 = 0; j0 < nc; j0 += nr_tile) {
+          const idx nr = std::min(nr_tile, nc - j0);
+          const double* bp = bbuf + (j0 / nr_tile) * (kc * nr_tile);
+          for (idx i0 = 0; i0 < mc; i0 += mr_tile) {
+            const idx mr = std::min(mr_tile, mc - i0);
+            const double* ap = abuf + (i0 / mr_tile) * (kc * mr_tile);
+            kern.micro(kc, alpha, ap, bp,
+                       c + (ic + i0) + (jc + j0) * ldc, ldc, mr, nr);
           }
         }
       });
@@ -262,36 +154,69 @@ void gemm_blocked(idx m, idx n, idx k, double alpha, PA&& packa, PB&& packb,
   }
 }
 
-/// Accessor-based core shared by symm/syrk/trmm: C += alpha * EA * EB where
-/// the operands are exposed element-wise.  C must already be scaled by beta.
+/// Accessor-based core shared by gemm/symm/syrk/trmm: C += alpha * EA * EB
+/// where the operands are exposed element-wise.  C must already be scaled by
+/// beta.
 template <class EA, class EB>
 void gemm_core(idx m, idx n, idx k, double alpha, EA&& ea, EB&& eb, double* c,
                idx ldc) {
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
   // Small problems: packing overhead dominates, use a direct loop nest.
-  if (m * n * k <= 16 * 1024) {
-    for (idx j = 0; j < n; ++j) {
-      double* cj = c + j * ldc;
-      for (idx p = 0; p < k; ++p) {
-        const double bpj = alpha * eb(p, j);
-        if (bpj == 0.0) continue;
-        for (idx i = 0; i < m; ++i) cj[i] += ea(i, p) * bpj;
+  // Same KC chunking and rounding as the blocked path (bitwise-identical
+  // results across the threshold), and no skipping of zero operands — a
+  // zero times NaN/Inf must propagate exactly as the microkernels would.
+  if (m * n * k <= kSmallThreshold) {
+    constexpr idx IB = 256;  // C rows accumulated per stack-resident strip
+    double acc[IB];
+    for (idx pc = 0; pc < k; pc += kKC) {
+      const idx kc = std::min(kKC, k - pc);
+      for (idx j = 0; j < n; ++j) {
+        double* cj = c + j * ldc;
+        for (idx i0 = 0; i0 < m; i0 += IB) {
+          const idx ib = std::min(IB, m - i0);
+          std::fill(acc, acc + ib, 0.0);
+          for (idx p = 0; p < kc; ++p) {
+            const double bpj = eb(pc + p, j);
+            for (idx i = 0; i < ib; ++i) acc[i] += ea(i0 + i, pc + p) * bpj;
+          }
+          for (idx i = 0; i < ib; ++i) cj[i0 + i] += alpha * acc[i];
+        }
       }
     }
     return;
   }
+  const kernels::Kernel& kern = kernels::active_kernel();
   gemm_blocked(
       m, n, k, alpha,
       [&](idx ic, idx pc, idx mc, idx kc, double* buf) {
-        pack_a(mc, kc, [&](idx i, idx p) { return ea(ic + i, pc + p); }, buf);
+        pack_a_generic(kern.mr, mc, kc,
+                       [&](idx i, idx p) { return ea(ic + i, pc + p); }, buf);
       },
       [&](idx pc, idx jc, idx kc, idx nc, double* buf) {
-        pack_b(kc, nc, [&](idx p, idx j) { return eb(pc + p, jc + j); }, buf);
+        pack_b_generic(kern.nr, kc, nc,
+                       [&](idx p, idx j) { return eb(pc + p, jc + j); }, buf);
       },
       c, ldc);
 }
 
 }  // namespace
+
+int kernel_workers() {
+  if (t_kernel_workers > 0) return t_kernel_workers;
+  if (rt::ThreadPool::in_parallel_region()) return 1;
+  return default_num_threads();
+}
+
+ScopedKernelWorkers::ScopedKernelWorkers(int num_workers)
+    : saved_(t_kernel_workers) {
+  t_kernel_workers = num_workers > 0 ? num_workers : 0;
+}
+
+ScopedKernelWorkers::~ScopedKernelWorkers() { t_kernel_workers = saved_; }
+
+PackBufferStats pack_buffer_stats() {
+  return {pack_store_a().capacity(), pack_store_b().capacity()};
+}
 
 void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
           const double* a, idx lda, const double* b, idx ldb, double beta,
@@ -299,8 +224,8 @@ void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
   scale_c(m, n, beta, c, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
   count_flops(flop_count::gemm(m, n, k));
-  // Small problems: skip packing entirely.
-  if (m * n * k <= 16 * 1024) {
+  // Small problems: skip packing entirely (gemm_core's small path).
+  if (m * n * k <= kSmallThreshold) {
     auto ea = [=](idx i, idx p) {
       return transa == op::none ? a[i + p * lda] : a[p + i * lda];
     };
@@ -310,19 +235,25 @@ void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
     gemm_core(m, n, k, alpha, ea, eb, c, ldc);
     return;
   }
-  // Concrete contiguous packers per transpose combination.
-  auto packa = [=](idx ic, idx pc, idx mc, idx kc, double* buf) {
+  // Blocked engine with the active tier's contiguous packers per transpose
+  // combination (several times faster than the element-accessor fallback;
+  // tile algorithms hit GEMM at nb-sized operands where packing is not
+  // amortized by the O(n^3) compute, so this matters for stage-1 rate).
+  const kernels::Kernel& kern = kernels::active_kernel();
+  auto packa = [&kern, a, lda, transa](idx ic, idx pc, idx mc, idx kc,
+                                       double* buf) {
     if (transa == op::none) {
-      pack_a_notrans(mc, kc, a + ic + pc * lda, lda, buf);
+      kern.pack_a_notrans(mc, kc, a + ic + pc * lda, lda, buf);
     } else {
-      pack_a_trans(mc, kc, a + pc + ic * lda, lda, buf);
+      kern.pack_a_trans(mc, kc, a + pc + ic * lda, lda, buf);
     }
   };
-  auto packb = [=](idx pc, idx jc, idx kc, idx nc, double* buf) {
+  auto packb = [&kern, b, ldb, transb](idx pc, idx jc, idx kc, idx nc,
+                                       double* buf) {
     if (transb == op::none) {
-      pack_b_notrans(kc, nc, b + pc + jc * ldb, ldb, buf);
+      kern.pack_b_notrans(kc, nc, b + pc + jc * ldb, ldb, buf);
     } else {
-      pack_b_trans(kc, nc, b + jc + pc * ldb, ldb, buf);
+      kern.pack_b_trans(kc, nc, b + jc + pc * ldb, ldb, buf);
     }
   };
   gemm_blocked(m, n, k, alpha, packa, packb, c, ldc);

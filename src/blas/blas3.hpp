@@ -6,11 +6,53 @@
 // register-tiled microkernel) so that on any host the GEMM/GEMV rate gap that
 // motivates the two-stage algorithm is realistic.  All other Level-3 kernels
 // are layered on the same packed core.
+//
+// Every flop runs in a runtime-dispatched SIMD microkernel tier (scalar /
+// AVX2 / AVX-512 / NEON — see blas/kernels/registry.hpp): the best tier the
+// host supports is selected by cpuid at first use, overridable with the
+// TSEIG_KERNEL environment variable.  All tiers and both size paths produce
+// bitwise-identical results (the consistency contract in registry.hpp).
 #pragma once
 
 #include "common/types.hpp"
 
 namespace tseig::blas {
+
+/// Worker budget the Level-3 kernels may use for their internal
+/// parallel_for (the row-block loop of the packed GEMM driver).  Resolution
+/// order: an enclosing ScopedKernelWorkers on this thread; else 1 when the
+/// caller is already inside a parallel region (a pool task must never grow
+/// the pool); else the library default (TSEIG_NUM_THREADS / hardware
+/// concurrency).
+int kernel_workers();
+
+/// RAII thread-local cap on kernel_workers(): solvers set this to their
+/// resolved worker count so a gemm issued on the caller's thread cannot
+/// oversubscribe past what the user requested (SyevOptions::num_workers),
+/// and tests pin it to 1 for serial oracles.  Values <= 0 clear the cap
+/// (restore default resolution) for the scope.  The cap does not propagate
+/// to pool workers — those are already forced serial by the parallel-region
+/// rule above.
+class ScopedKernelWorkers {
+public:
+  explicit ScopedKernelWorkers(int num_workers);
+  ~ScopedKernelWorkers();
+  ScopedKernelWorkers(const ScopedKernelWorkers&) = delete;
+  ScopedKernelWorkers& operator=(const ScopedKernelWorkers&) = delete;
+
+private:
+  int saved_;
+};
+
+/// Capacities (in doubles) of the calling thread's packing buffers.
+/// Diagnostic hook for the release-on-shrink policy: a huge gemm may grow
+/// them, but sustained smaller traffic must decay them back (tested in
+/// test_gemm_kernels).
+struct PackBufferStats {
+  idx a_elements = 0;
+  idx b_elements = 0;
+};
+PackBufferStats pack_buffer_stats();
 
 /// C <- alpha op(A) op(B) + beta C.  A is m-by-k after op, B is k-by-n.
 void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,

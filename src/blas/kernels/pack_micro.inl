@@ -1,0 +1,113 @@
+// Shared packer + edge-microkernel bodies for the per-ISA kernel TUs.
+//
+// NO include guard and NO #includes on purpose: this file is textually
+// included INSIDE an anonymous namespace in each tier's translation unit,
+// after that TU defined `constexpr idx MR` / `constexpr idx NR` and included
+// <algorithm> + the registry header.  Internal linkage is the point — if
+// these were ordinary templates in a header, every tier would instantiate
+// identical weak symbols, the linker would keep exactly one of them, and a
+// packer compiled with -mavx512f could silently become the one the scalar
+// tier calls (the ISA-flag leak scripts/check_isa_leak.sh exists to catch).
+// Each TU compiles its own private copy with its own arch flags instead.
+//
+// Arithmetic here is part of the cross-tier consistency contract
+// (registry.hpp): packing only moves and zero-pads values, and the edge
+// microkernel accumulates products in k-order with no FMA (the kernel TUs
+// build with -ffp-contract=off), exactly like every SIMD fast path.
+
+/// op(A) = A (element (i,p) = a[i + p*lda]): columns are contiguous.
+void pack_a_notrans(idx mc, idx kc, const double* a, idx lda, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += MR) {
+    const idx mr = std::min(MR, mc - i0);
+    if (mr == MR) {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = a + i0 + p * lda;
+        double* dst = buf + p * MR;
+        for (idx i = 0; i < MR; ++i) dst[i] = src[i];
+      }
+    } else {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = a + i0 + p * lda;
+        double* dst = buf + p * MR;
+        for (idx i = 0; i < mr; ++i) dst[i] = src[i];
+        for (idx i = mr; i < MR; ++i) dst[i] = 0.0;
+      }
+    }
+    buf += kc * MR;
+  }
+}
+
+/// op(A) = A^T (element (i,p) = a[p + i*lda]): rows of the packed panel are
+/// contiguous in the source.
+void pack_a_trans(idx mc, idx kc, const double* a, idx lda, double* buf) {
+  for (idx i0 = 0; i0 < mc; i0 += MR) {
+    const idx mr = std::min(MR, mc - i0);
+    for (idx p = 0; p < kc; ++p)
+      for (idx i = mr; i < MR; ++i) buf[p * MR + i] = 0.0;
+    for (idx i = 0; i < mr; ++i) {
+      const double* src = a + (i0 + i) * lda;
+      for (idx p = 0; p < kc; ++p) buf[p * MR + i] = src[p];
+    }
+    buf += kc * MR;
+  }
+}
+
+/// op(B) = B (element (p,j) = b[p + j*ldb]).
+void pack_b_notrans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += NR) {
+    const idx nr = std::min(NR, nc - j0);
+    if (nr < NR) {
+      for (idx p = 0; p < kc; ++p)
+        for (idx j = nr; j < NR; ++j) buf[p * NR + j] = 0.0;
+    }
+    for (idx j = 0; j < nr; ++j) {
+      const double* src = b + (j0 + j) * ldb;
+      for (idx p = 0; p < kc; ++p) buf[p * NR + j] = src[p];
+    }
+    buf += kc * NR;
+  }
+}
+
+/// op(B) = B^T (element (p,j) = b[j + p*ldb]): packed rows are contiguous.
+void pack_b_trans(idx kc, idx nc, const double* b, idx ldb, double* buf) {
+  for (idx j0 = 0; j0 < nc; j0 += NR) {
+    const idx nr = std::min(NR, nc - j0);
+    if (nr == NR) {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = b + j0 + p * ldb;
+        double* dst = buf + p * NR;
+        for (idx j = 0; j < NR; ++j) dst[j] = src[j];
+      }
+    } else {
+      for (idx p = 0; p < kc; ++p) {
+        const double* src = b + j0 + p * ldb;
+        double* dst = buf + p * NR;
+        for (idx j = 0; j < nr; ++j) dst[j] = src[j];
+        for (idx j = nr; j < NR; ++j) dst[j] = 0.0;
+      }
+    }
+    buf += kc * NR;
+  }
+}
+
+/// Scalar micro-tile: the full-tile body of the scalar tier and the ragged
+/// edge of every SIMD tier.  Accumulates all MR*NR lanes (the padded lanes
+/// compute on zeros and are discarded below), then applies alpha with a
+/// separate multiply and add — the exact rounding sequence of the SIMD fast
+/// paths.
+void micro_edge(idx kc, double alpha, const double* ap, const double* bp,
+                double* c, idx ldc, idx mr, idx nr) {
+  double acc[MR * NR] = {};
+  for (idx p = 0; p < kc; ++p) {
+    const double* a = ap + p * MR;
+    const double* b = bp + p * NR;
+    for (idx j = 0; j < NR; ++j) {
+      const double bj = b[j];
+      for (idx i = 0; i < MR; ++i) acc[j * MR + i] += a[i] * bj;
+    }
+  }
+  for (idx j = 0; j < nr; ++j) {
+    double* cj = c + j * ldc;
+    for (idx i = 0; i < mr; ++i) cj[i] += alpha * acc[j * MR + i];
+  }
+}

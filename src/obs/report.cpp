@@ -7,6 +7,8 @@
 #include <map>
 #include <sstream>
 
+#include "blas/kernels/registry.hpp"
+
 namespace tseig::obs {
 namespace {
 
@@ -62,6 +64,9 @@ Report analyze(const Snapshot& snap) {
   Report rep;
   rep.meta = snap.meta;
   rep.git = TSEIG_GIT_DESCRIBE;
+  // The dispatch tier is process-wide and resolved by first use; recording
+  // it makes every trace say which microkernels actually ran.
+  rep.kernel = blas::kernels::active_kernel_name();
   rep.span_count = static_cast<idx>(snap.spans.size());
   rep.dropped_spans = snap.dropped_spans;
   rep.workers = snap.workers;
@@ -191,7 +196,8 @@ std::string metrics_object(const Snapshot& snap) {
   out << ",\"run\":{\"label\":" << json_string(rep.meta.label)
       << ",\"n\":" << rep.meta.n << ",\"nb\":" << rep.meta.nb
       << ",\"workers\":" << rep.meta.num_workers
-      << ",\"git\":" << json_string(rep.git) << "}";
+      << ",\"git\":" << json_string(rep.git)
+      << ",\"kernel\":" << json_string(rep.kernel) << "}";
   out << ",\"totals\":{\"wall_seconds\":" << num(rep.wall_seconds)
       << ",\"work_seconds\":" << num(rep.work_seconds)
       << ",\"critical_path_seconds\":" << num(rep.critical_path_seconds)
@@ -291,6 +297,7 @@ std::string to_chrome_trace_json(const Snapshot& snap) {
       << json_string(snap.meta.label) << ",\"n\":" << snap.meta.n
       << ",\"nb\":" << snap.meta.nb << ",\"workers\":" << snap.meta.num_workers
       << ",\"git\":" << json_string(TSEIG_GIT_DESCRIBE)
+      << ",\"kernel\":" << json_string(blas::kernels::active_kernel_name())
       << ",\"dropped_spans\":" << snap.dropped_spans << "}";
   out << ",\"tseigMetrics\":" << metrics_object(snap) << "}";
   return out.str();
@@ -301,7 +308,9 @@ std::string format_report(const Report& rep) {
   out << "tseig telemetry report";
   if (!rep.meta.label.empty()) out << " -- " << rep.meta.label;
   out << " (n=" << rep.meta.n << ", nb=" << rep.meta.nb
-      << ", workers=" << rep.meta.num_workers << ", git " << rep.git << ")\n";
+      << ", workers=" << rep.meta.num_workers << ", git " << rep.git
+      << ", kernel " << (rep.kernel.empty() ? "unknown" : rep.kernel)
+      << ")\n";
   out << "  wall                " << fmt("%10.6f", rep.wall_seconds) << " s   ("
       << rep.span_count << " spans, " << rep.dropped_spans << " dropped)\n";
   out << "  work                " << fmt("%10.6f", rep.work_seconds)
@@ -392,6 +401,7 @@ Report report_from_metrics_json(const JsonValue& doc) {
     rep.meta.nb = static_cast<idx>(run->number_or("nb", 0));
     rep.meta.num_workers = static_cast<int>(run->number_or("workers", 0));
     rep.git = run->string_or("git", "unknown");
+    rep.kernel = run->string_or("kernel", "unknown");
   }
   if (const JsonValue* t = m.find("totals")) {
     rep.wall_seconds = t->number_or("wall_seconds", 0.0);
@@ -458,6 +468,7 @@ Report report_from_trace_json(const JsonValue& doc) {
     rep.meta.nb = static_cast<idx>(meta->number_or("nb", 0));
     rep.meta.num_workers = static_cast<int>(meta->number_or("workers", 0));
     rep.git = meta->string_or("git", "unknown");
+    rep.kernel = meta->string_or("kernel", "unknown");
   }
 
   struct Acc {

@@ -54,6 +54,7 @@ struct GraphReport {
 struct Report {
   RunMeta meta;
   std::string git;
+  std::string kernel;  ///< SIMD microkernel tier the run dispatched to
   double wall_seconds = 0.0;          ///< span extent: max end - min start
   double work_seconds = 0.0;          ///< total useful CPU-seconds
   double critical_path_seconds = 0.0; ///< sum of per-phase critical paths

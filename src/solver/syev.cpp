@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "blas/blas3.hpp"
 #include "common/flops.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -305,6 +306,10 @@ SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
   const bool nested = rt::ThreadPool::in_parallel_region();
   o.num_workers = nested ? 1 : rt::resolve_num_workers(o.num_workers);
   if (o.stage2_workers > o.num_workers) o.stage2_workers = o.num_workers;
+  // Level-3 kernels issued on this thread (panel updates, back-transforms
+  // outside task graphs) inherit the solve's budget instead of the global
+  // default: a 2-worker solve must not fan a gemm out over every core.
+  const blas::ScopedKernelWorkers kernel_budget(o.num_workers);
 
   // Per-solve telemetry export: turn recording on for this call (clearing
   // anything a previous per-solve export left in the rings) and write the

@@ -465,6 +465,9 @@ void stedc(idx n, double* d, double* e, double* z, idx ldz,
   // Nested call (stedc itself running inside a pool worker): the outer
   // construct owns the machine, run serially.
   if (rt::ThreadPool::in_parallel_region()) ctx.workers = 1;
+  // Level-3 kernels issued from this thread (root-merge GEMMs) get the same
+  // budget — they must not fan out past what this call resolved to.
+  const blas::ScopedKernelWorkers kernel_budget(ctx.workers);
 
   std::vector<Node> nodes;
   build_tree(nodes, 0, n, 0, d, e, std::max<idx>(opts.crossover, 4));
