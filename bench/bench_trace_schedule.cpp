@@ -6,6 +6,11 @@
 // DAG critical path for the dynamic vs pinned-subset schedules.
 //
 // Usage: bench_trace_schedule [--n N] [--nb NB] [--workers W]
+//                             [--lookahead D]
+//
+// Stage 1 is recorded twice -- bulk-synchronous (depth 0) and with the
+// requested look-ahead -- so the traces show where the panel pipeline
+// overlaps the trailing-update stream and what it buys in makespan.
 //
 // The per-configuration traces land in /tmp (paths printed below); the
 // shared --trace/--metrics flags additionally export whatever the last
@@ -77,6 +82,8 @@ int main(int argc, char** argv) {
   const idx nb = bench::arg_idx(argc, argv, "--nb", 32);
   const int workers =
       static_cast<int>(bench::arg_idx(argc, argv, "--workers", 4));
+  const int lookahead =
+      static_cast<int>(bench::arg_idx(argc, argv, "--lookahead", 1));
   bench::init_telemetry(argc, argv);
 
   Matrix a = bench::random_symmetric(n, 81);
@@ -85,6 +92,26 @@ int main(int argc, char** argv) {
   std::printf("Bulge-chasing schedule trace (n = %lld, nb = %lld, workers = "
               "%d)\n",
               static_cast<long long>(n), static_cast<long long>(nb), workers);
+
+  // Stage-1 panel pipeline: depth 0 forces a barrier at every panel, so the
+  // trailing-update tail of each panel runs under-subscribed; with
+  // look-ahead the next panel's GEQRT/TSQRT chain fills those lanes.  Same
+  // kernel sequence both times (bitwise-identical band), different overlap.
+  for (const int depth : {0, lookahead}) {
+    const obs::Snapshot snap = record([&] {
+      twostage::Sy2sbOptions o;
+      o.num_workers = workers;
+      o.lookahead = depth;
+      (void)twostage::sy2sb(n, a.data(), a.ld(), nb, o);
+    });
+    std::printf("\nstage 1, lookahead %d:\n", depth);
+    print_utilization(snap);
+    char out[64];
+    std::snprintf(out, sizeof(out), "/tmp/trace_stage1_la%d.json", depth);
+    obs::write_chrome_trace_file(snap, out);
+    std::printf("  trace written to %s\n", out);
+    if (lookahead == 0) break;  // only one distinct configuration
+  }
 
   struct Cfg {
     const char* name;

@@ -43,20 +43,25 @@ Phase phase_from_name(const std::string& name) {
 
 }  // namespace
 
-double critical_path_seconds(const std::vector<GraphTask>& nodes) {
+std::vector<double> longest_path_to_sink(const std::vector<GraphTask>& nodes) {
   // Hazard edges always point forward in submission order, so a reverse
   // sweep is a topological-order DP; best[i] = longest path starting at i.
   const idx n = static_cast<idx>(nodes.size());
   std::vector<double> best(static_cast<size_t>(n), 0.0);
-  double longest = 0.0;
   for (idx i = n - 1; i >= 0; --i) {
     double tail = 0.0;
     for (idx s : nodes[static_cast<size_t>(i)].successors)
       if (s > i && s < n) tail = std::max(tail, best[static_cast<size_t>(s)]);
     best[static_cast<size_t>(i)] =
         nodes[static_cast<size_t>(i)].duration_seconds + tail;
-    longest = std::max(longest, best[static_cast<size_t>(i)]);
   }
+  return best;
+}
+
+double critical_path_seconds(const std::vector<GraphTask>& nodes) {
+  const std::vector<double> best = longest_path_to_sink(nodes);
+  double longest = 0.0;
+  for (double b : best) longest = std::max(longest, b);
   return longest;
 }
 
@@ -116,6 +121,8 @@ Report analyze(const Snapshot& snap) {
         g.tasks > 0 ? g.wait_total_seconds / static_cast<double>(g.tasks) : 0.0;
     gr.max_wait_seconds = g.wait_max_seconds;
     gr.max_ready_depth = g.max_ready_depth;
+    gr.lookahead = g.lookahead;
+    gr.priority_scheme = g.priority_scheme != nullptr ? g.priority_scheme : "";
     rep.graphs.push_back(gr);
   }
 
@@ -149,6 +156,11 @@ Report analyze(const Snapshot& snap) {
     if (!inside) a.outside_caller_task_seconds += s.end_seconds - s.start_seconds;
   }
 
+  int workers = rep.meta.num_workers;
+  if (workers <= 0)
+    for (const GraphRun& g : snap.graphs) workers = std::max(workers, g.num_workers);
+  if (workers <= 0) workers = 1;
+
   double phase_wall_total = 0.0;
   for (int p = 0; p < kPhaseCount; ++p) {
     const Acc& a = acc[static_cast<size_t>(p)];
@@ -164,20 +176,23 @@ Report analyze(const Snapshot& snap) {
     // task spans on the caller lane.
     const double serial = std::max(
         0.0, a.phase_seconds - a.graph_wall - a.outside_caller_task_seconds);
+    pr.serial_seconds = serial;
     pr.work_seconds = a.task_seconds + serial;
     pr.critical_path_seconds =
         std::max(0.0, a.phase_seconds - a.graph_wall) + a.graph_cp +
         (a.phase_seconds == 0.0 ? a.outside_caller_task_seconds : 0.0);
+    // Guarded: a zero-duration phase (or an empty graph recorded into it)
+    // must report 0, never a NaN/inf that breaks JSON consumers.
+    const double phase_capacity =
+        static_cast<double>(workers) * a.phase_seconds;
+    pr.parallel_efficiency =
+        phase_capacity > 0.0 ? pr.work_seconds / phase_capacity : 0.0;
     rep.phases.push_back(pr);
     rep.work_seconds += pr.work_seconds;
     rep.critical_path_seconds += pr.critical_path_seconds;
     phase_wall_total += a.phase_seconds;
   }
 
-  int workers = rep.meta.num_workers;
-  if (workers <= 0)
-    for (const GraphRun& g : snap.graphs) workers = std::max(workers, g.num_workers);
-  if (workers <= 0) workers = 1;
   const double capacity =
       static_cast<double>(workers) *
       (phase_wall_total > 0.0 ? phase_wall_total : rep.wall_seconds);
@@ -214,6 +229,8 @@ std::string metrics_object(const Snapshot& snap) {
         << ",\"task_seconds\":" << num(p.task_seconds)
         << ",\"work_seconds\":" << num(p.work_seconds)
         << ",\"critical_path_seconds\":" << num(p.critical_path_seconds)
+        << ",\"serial_seconds\":" << num(p.serial_seconds)
+        << ",\"parallel_efficiency\":" << num(p.parallel_efficiency)
         << ",\"tasks\":" << p.tasks << ",\"graphs\":" << p.graphs << "}";
   }
   out << "],\"graphs\":[";
@@ -229,7 +246,9 @@ std::string metrics_object(const Snapshot& snap) {
         << ",\"critical_path_seconds\":" << num(g.critical_path_seconds)
         << ",\"avg_wait_seconds\":" << num(g.avg_wait_seconds)
         << ",\"max_wait_seconds\":" << num(g.max_wait_seconds)
-        << ",\"max_ready_depth\":" << g.max_ready_depth << "}";
+        << ",\"max_ready_depth\":" << g.max_ready_depth
+        << ",\"lookahead\":" << g.lookahead
+        << ",\"priority_scheme\":" << json_string(g.priority_scheme) << "}";
   }
   out << "],\"pool\":[";
   first = true;
@@ -330,15 +349,17 @@ std::string format_report(const Report& rep) {
   if (!rep.phases.empty()) {
     double total = 0.0;
     for (const PhaseReport& p : rep.phases) total += p.seconds;
-    out << "\n  phase        wall s      %     work s   critical s   tasks  "
-           "graphs\n";
+    out << "\n  phase        wall s      %     work s   critical s   "
+           "serial s   eff %   tasks  graphs\n";
     for (const PhaseReport& p : rep.phases) {
-      char line[160];
+      char line[200];
       std::snprintf(line, sizeof line,
-                    "  %-10s %9.6f  %5.1f  %9.6f    %9.6f  %6lld  %6lld\n",
+                    "  %-10s %9.6f  %5.1f  %9.6f    %9.6f  %9.6f  %6.1f  "
+                    "%6lld  %6lld\n",
                     p.name.c_str(), p.seconds,
                     total > 0.0 ? 100.0 * p.seconds / total : 0.0,
-                    p.work_seconds, p.critical_path_seconds,
+                    p.work_seconds, p.critical_path_seconds, p.serial_seconds,
+                    p.parallel_efficiency * 100.0,
                     static_cast<long long>(p.tasks),
                     static_cast<long long>(p.graphs));
       out << line;
@@ -357,6 +378,14 @@ std::string format_report(const Report& rep) {
           g.work_seconds, g.critical_path_seconds, g.avg_wait_seconds * 1e6,
           g.max_wait_seconds * 1e6, static_cast<long long>(g.max_ready_depth));
       out << line;
+      if (g.lookahead >= 0 || !g.priority_scheme.empty()) {
+        char meta[120];
+        std::snprintf(meta, sizeof meta,
+                      "              lookahead=%d priorities=%s\n", g.lookahead,
+                      g.priority_scheme.empty() ? "static"
+                                                : g.priority_scheme.c_str());
+        out << meta;
+      }
     }
   }
   if (!rep.workers.empty()) {
@@ -421,6 +450,8 @@ Report report_from_metrics_json(const JsonValue& doc) {
       pr.task_seconds = p.number_or("task_seconds", 0.0);
       pr.work_seconds = p.number_or("work_seconds", 0.0);
       pr.critical_path_seconds = p.number_or("critical_path_seconds", 0.0);
+      pr.serial_seconds = p.number_or("serial_seconds", 0.0);
+      pr.parallel_efficiency = p.number_or("parallel_efficiency", 0.0);
       pr.tasks = static_cast<idx>(p.number_or("tasks", 0));
       pr.graphs = static_cast<idx>(p.number_or("graphs", 0));
       rep.phases.push_back(pr);
@@ -439,6 +470,8 @@ Report report_from_metrics_json(const JsonValue& doc) {
       gr.avg_wait_seconds = g.number_or("avg_wait_seconds", 0.0);
       gr.max_wait_seconds = g.number_or("max_wait_seconds", 0.0);
       gr.max_ready_depth = static_cast<idx>(g.number_or("max_ready_depth", 0));
+      gr.lookahead = static_cast<int>(g.number_or("lookahead", -1));
+      gr.priority_scheme = g.string_or("priority_scheme", "");
       rep.graphs.push_back(gr);
     }
   }

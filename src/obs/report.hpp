@@ -24,6 +24,13 @@ namespace tseig::obs {
 /// backward manual edges would be cycles and are ignored.
 double critical_path_seconds(const std::vector<GraphTask>& nodes);
 
+/// The reverse-topological DP behind critical_path_seconds: heights[i] is
+/// the longest path (sum of durations) starting at node i.  Exposed so the
+/// runtime can derive critical-path task priorities from the exact same
+/// computation (TaskGraph::apply_critical_path_priorities feeds unit
+/// durations and uses the heights directly).
+std::vector<double> longest_path_to_sink(const std::vector<GraphTask>& nodes);
+
 /// Per-phase attribution of a run.
 struct PhaseReport {
   Phase phase = Phase::none;
@@ -32,6 +39,11 @@ struct PhaseReport {
   double task_seconds = 0.0;   ///< sum of task-span durations inside it
   double work_seconds = 0.0;   ///< task work + serial (untasked) remainder
   double critical_path_seconds = 0.0;  ///< serial remainder + graph paths
+  /// Phase wall time not covered by task graphs or caller-lane task spans:
+  /// the serial remainder look-ahead scheduling attacks in stage 1.
+  double serial_seconds = 0.0;
+  /// work / (workers * seconds); 0 (never NaN/inf) for zero-duration phases.
+  double parallel_efficiency = 0.0;
   idx tasks = 0;
   idx graphs = 0;
 };
@@ -48,6 +60,8 @@ struct GraphReport {
   double avg_wait_seconds = 0.0;
   double max_wait_seconds = 0.0;
   idx max_ready_depth = 0;
+  int lookahead = -1;          ///< producer's look-ahead depth (-1 = n/a)
+  std::string priority_scheme; ///< ready-queue ordering ("static", ...)
 };
 
 /// The full utilization/critical-path report tseig_prof prints.

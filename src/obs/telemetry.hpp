@@ -187,6 +187,11 @@ struct GraphRun {
   double wait_total_seconds = 0.0;  ///< sum of ready -> start waits
   double wait_max_seconds = 0.0;
   idx max_ready_depth = 0;          ///< peak ready-queue depth observed
+  /// Scheduling metadata from TaskGraph::set_schedule_info: look-ahead depth
+  /// of the producing algorithm (-1 = not applicable) and the priority
+  /// scheme the ready queue ordered by (borrowed static string).
+  int lookahead = -1;
+  const char* priority_scheme = "";
   std::vector<GraphTask> nodes;
 };
 

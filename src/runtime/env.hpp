@@ -1,0 +1,43 @@
+// Strict environment-variable parsing shared by the runtime knobs
+// (TSEIG_NUM_THREADS, TSEIG_LOOKAHEAD, ...).
+//
+// std::atoi silently maps garbage to 0 and saturates on overflow, so a typo
+// like TSEIG_NUM_THREADS=4x or =99999999999999 used to misconfigure the pool
+// without a trace.  Every env knob now goes through parse_env_long: values
+// outside [min, max], trailing garbage, overflow and empty strings are all
+// rejected with a one-line stderr warning, and the caller falls back to its
+// automatic default.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tseig::rt {
+
+/// Parses the environment variable `name` as a base-10 integer in
+/// [min_value, max_value].  On success writes the value to *out and returns
+/// true.  Returns false when the variable is unset (silently) or set to
+/// something unusable (with a stderr warning): empty, non-numeric, trailing
+/// garbage, out of range, or overflowing long.  *out is untouched on
+/// failure, so callers can pre-load it with their default.
+inline bool parse_env_long(const char* name, long min_value, long max_value,
+                           long* out) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || v < min_value ||
+      v > max_value) {
+    std::fprintf(stderr,
+                 "tseig: ignoring %s=\"%s\" (expected integer in [%ld, %ld]); "
+                 "using automatic default\n",
+                 name, env, min_value, max_value);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace tseig::rt

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <queue>
 #include <sstream>
 #include <thread>
 
+#include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
@@ -123,6 +125,20 @@ idx TaskGraph::submit(std::function<void()> fn,
   return id;
 }
 
+void TaskGraph::apply_critical_path_priorities() {
+  // Mirror the graph into the analyzer's node shape with unit weights: the
+  // height of a task is then the longest chain (in tasks) it still heads,
+  // i.e. exactly obs::critical_path_seconds' DP evaluated before execution.
+  std::vector<obs::GraphTask> nodes(tasks_.size());
+  for (size_t i = 0; i < tasks_.size(); ++i) {
+    nodes[i].duration_seconds = 1.0;
+    nodes[i].successors = tasks_[i].successors;
+  }
+  const std::vector<double> height = obs::longest_path_to_sink(nodes);
+  for (size_t i = 0; i < tasks_.size(); ++i)
+    tasks_[i].priority = static_cast<int>(height[i]);
+}
+
 void TaskGraph::run_elided() {
   // Serial elision: submission order satisfies every hazard edge by
   // construction (submit() only derives earlier -> later edges), so running
@@ -176,6 +192,8 @@ void TaskGraph::record_run(int num_workers, double run_start,
   run.wait_total_seconds = waits.total_seconds;
   run.wait_max_seconds = waits.max_seconds;
   run.max_ready_depth = waits.max_ready_depth;
+  run.lookahead = run_lookahead_;
+  run.priority_scheme = run_priority_scheme_;
   run.nodes.reserve(tasks_.size());
   for (size_t k = 0; k < tasks_.size(); ++k) {
     obs::GraphTask node;
@@ -222,10 +240,25 @@ void TaskGraph::run(int num_workers) {
       return order > o.order;  // max-heap: smaller order should win
     }
   };
+  /// FIFO-side record for priority aging (id + the pop count at enqueue).
+  struct AgedEntry {
+    idx task;
+    std::uint64_t enqueued_at;
+  };
 
   std::mutex mu;
   std::condition_variable cv;
   std::priority_queue<ReadyEntry> shared_ready;
+  // Priority aging runs a submission-ordered FIFO next to the heap; both
+  // structures hold every shared-ready task and delete lazily via `taken`
+  // when the other side pops it first.  `shared_live` counts tasks present
+  // (not yet taken) so the scheduling branch never sees a stale-only queue.
+  const bool aging = aging_window_ > 0;
+  std::deque<AgedEntry> aged_ready;
+  std::vector<char> taken;
+  if (aging) taken.assign(tasks_.size(), 0);
+  idx shared_live = 0;
+  std::uint64_t shared_pops = 0;
   // Fuzz mode replaces the priority queue with seeded random popping.
   std::vector<idx> fuzz_ready;
   // Per-worker FIFO queues for pinned tasks.
@@ -265,6 +298,8 @@ void TaskGraph::run(int num_workers) {
       fuzz_ready.push_back(id);
     } else {
       shared_ready.push({t.priority, id, id});
+      if (aging) aged_ready.push_back({id, shared_pops});
+      ++shared_live;
     }
     if (observing) {
       ready_at[static_cast<size_t>(id)] = obs::now_seconds();
@@ -298,9 +333,30 @@ void TaskGraph::run(int num_workers) {
         id = fuzz_ready[r];
         fuzz_ready[r] = fuzz_ready.back();
         fuzz_ready.pop_back();
-      } else if (!fuzz_ && !shared_ready.empty()) {
-        id = shared_ready.top().task;
-        shared_ready.pop();
+      } else if (!fuzz_ && shared_live > 0) {
+        if (aging) {
+          while (!aged_ready.empty() &&
+                 taken[static_cast<size_t>(aged_ready.front().task)] != 0)
+            aged_ready.pop_front();
+        }
+        if (aging && !aged_ready.empty() &&
+            shared_pops - aged_ready.front().enqueued_at >=
+                static_cast<std::uint64_t>(aging_window_)) {
+          // The oldest ready task has been passed over for a full aging
+          // window: run it now so low-priority work cannot starve.
+          id = aged_ready.front().task;
+          aged_ready.pop_front();
+        } else {
+          if (aging) {
+            while (taken[static_cast<size_t>(shared_ready.top().task)] != 0)
+              shared_ready.pop();
+          }
+          id = shared_ready.top().task;
+          shared_ready.pop();
+        }
+        if (aging) taken[static_cast<size_t>(id)] = 1;
+        --shared_live;
+        ++shared_pops;
       } else {
         if (remaining == 0 || deadlocked) return;
         // Nothing ready anywhere and nothing running: the rest of the graph

@@ -145,6 +145,34 @@ public:
   /// cycle; run() detects cycles and reports the tasks on one.
   void add_dependency(idx before, idx after);
 
+  /// Replaces every task's priority with its height in the dependency DAG:
+  /// the number of tasks on the longest chain from the task to any sink
+  /// (unit task weights).  This is the same reverse-topological DP the obs
+  /// critical-path analyzer runs over recorded graphs, applied to the live
+  /// graph before execution, so ready-queue order favors the tasks with the
+  /// most serial work behind them.  Call after all submit()/add_dependency()
+  /// calls and before run(); static per-task priorities are overwritten.
+  void apply_critical_path_priorities();
+
+  /// Bounded-starvation aging for the shared ready queue: when the oldest
+  /// ready task has been passed over by `window` consecutive pops, it runs
+  /// next regardless of priority.  Together with the FIFO tie-break among
+  /// equal priorities this makes every schedule-affecting decision a
+  /// deterministic function of (priorities, submission order, timing).
+  /// window <= 0 disables aging; the default is kDefaultAgingWindow.
+  void set_priority_aging(idx window) { aging_window_ = window; }
+  idx priority_aging() const { return aging_window_; }
+  static constexpr idx kDefaultAgingWindow = 1024;
+
+  /// Scheduling metadata stamped into the obs::GraphRun record of the next
+  /// run(): the producer's look-ahead depth (-1 = not applicable) and the
+  /// name of the priority scheme in effect ("static", "critical-path", ...).
+  /// Purely observational -- never affects execution.
+  void set_schedule_info(int lookahead, const char* priority_scheme) {
+    run_lookahead_ = lookahead;
+    run_priority_scheme_ = priority_scheme != nullptr ? priority_scheme : "";
+  }
+
   /// Executes the whole graph on `num_workers` logical workers (>=1); 0 or
   /// negative selects default_num_threads().  The calling thread acts as
   /// worker 0, the rest are borrowed from the persistent rt::ThreadPool (no
@@ -247,6 +275,9 @@ private:
   // Region key -> hazard state.
   std::unordered_map<std::uint64_t, RegionState> regions_;
   idx edge_count_ = 0;
+  idx aging_window_ = kDefaultAgingWindow;
+  int run_lookahead_ = -1;
+  const char* run_priority_scheme_ = "";
   bool tracing_ = false;
   bool validate_ = false;
   bool fuzz_ = false;

@@ -26,21 +26,25 @@
 #include <functional>
 #include <thread>
 
+#include "runtime/env.hpp"
+
 namespace tseig {
 
 /// Number of worker threads used by default across the library.  Reads
-/// TSEIG_NUM_THREADS once; falls back to std::thread::hardware_concurrency().
-/// This is the single resolution point for "how many threads should tseig
-/// use" -- SyevOptions::num_workers <= 0, bench --workers 0 and parallel_for
-/// all funnel through it.
+/// TSEIG_NUM_THREADS once (strict parse: 0, negative, overflowing or
+/// garbage-suffixed values warn on stderr and fall back to the automatic
+/// default); falls back to std::thread::hardware_concurrency().  This is the
+/// single resolution point for "how many threads should tseig use" --
+/// SyevOptions::num_workers <= 0, bench --workers 0 and parallel_for all
+/// funnel through it.
 inline int default_num_threads() {
   static const int cached = [] {
-    if (const char* env = std::getenv("TSEIG_NUM_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return v;
-    }
     const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : static_cast<int>(hw);
+    long v = hw == 0 ? 1 : static_cast<long>(hw);
+    // A pool of more than 2^20 workers is certainly a typo; reject it before
+    // it reaches thread creation.
+    (void)rt::parse_env_long("TSEIG_NUM_THREADS", 1, 1L << 20, &v);
+    return static_cast<int>(v);
   }();
   return cached;
 }

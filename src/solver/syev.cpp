@@ -190,8 +190,12 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
 
   twostage::Sy2sbResult s1;
   timed(obs::Phase::stage1, "stage1", res.phases.stage1_seconds,
-        res.phases.reduction_flops,
-        [&] { s1 = twostage::sy2sb(n, a, lda, nb, opts.num_workers); });
+        res.phases.reduction_flops, [&] {
+    twostage::Sy2sbOptions o1;
+    o1.num_workers = opts.num_workers;
+    o1.lookahead = opts.lookahead;
+    s1 = twostage::sy2sb(n, a, lda, nb, o1);
+  });
 
   twostage::Sb2stResult s2;
   timed(obs::Phase::stage2, "stage2", res.phases.stage2_seconds,
@@ -200,6 +204,7 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
     o2.num_workers = opts.num_workers;
     o2.stage2_workers = opts.stage2_workers;
     o2.group = opts.group;
+    o2.successive = opts.successive_bands;
     s2 = twostage::sb2st(s1.band, o2);
   });
   res.phases.reduction_seconds =
@@ -232,6 +237,13 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
             res.phases.update_flops, [&] {
         twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(),
                            res.z.cols(), opts.ell, opts.num_workers);
+        // Successive band reduction: outer levels re-applied innermost
+        // first (Q2 = pre_levels[0] * ... * v2).
+        for (auto it = s2.pre_levels.rbegin(); it != s2.pre_levels.rend();
+             ++it) {
+          twostage::apply_q2(op::none, *it, res.z.data(), res.z.ld(),
+                             res.z.cols(), opts.ell, opts.num_workers);
+        }
         twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(),
                            res.z.cols(), opts.num_workers);
       });
@@ -278,6 +290,12 @@ SyevResult solve_two_stage(idx n, const double* a, idx lda,
         res.phases.update_flops, [&] {
     twostage::apply_q2(op::none, s2.v2, res.z.data(), res.z.ld(), m, opts.ell,
                        opts.num_workers);
+    // Successive band reduction: outer levels re-applied innermost first
+    // (Q2 = pre_levels[0] * ... * v2).
+    for (auto it = s2.pre_levels.rbegin(); it != s2.pre_levels.rend(); ++it) {
+      twostage::apply_q2(op::none, *it, res.z.data(), res.z.ld(), m, opts.ell,
+                         opts.num_workers);
+    }
     twostage::apply_q1(op::none, s1.q1, res.z.data(), res.z.ld(), m,
                        opts.num_workers);
   });

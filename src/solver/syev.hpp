@@ -73,10 +73,18 @@ struct SyevOptions {
   /// belongs to the outer scheduler.  Results are bitwise independent of the
   /// resolved count on every path, so overriding it never changes answers.
   int num_workers = 1;
+  /// Look-ahead depth of the stage-1 panel pipeline (see
+  /// Sy2sbOptions::lookahead): 0 = bulk-synchronous, d >= 1 = d + 1 panels
+  /// in flight with critical-path priorities, < 0 = TSEIG_LOOKAHEAD
+  /// (default 1).  Never changes results.
+  int lookahead = -1;
   /// Worker subset for the memory-bound bulge chasing (0 = all).
   int stage2_workers = 0;
   /// Chase hops coalesced per stage-2 task.
   idx group = 4;
+  /// Stage 2 as a successive band reduction (nb -> nb/2 -> 1, see
+  /// Sb2stOptions::successive) instead of one direct chase.
+  bool successive_bands = false;
   /// D&C crossover to QL/QR.
   idx dc_crossover = 32;
   /// Per-solve telemetry export (tseig::obs): non-empty paths turn recording

@@ -5,6 +5,7 @@
 
 #include "lapack/aux.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/env.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
@@ -72,6 +73,16 @@ void register_sy2sb_regions(rt::RegionMap& map, SymTileMatrix& tiles,
 
 }  // namespace
 
+int resolve_lookahead(int requested) {
+  if (requested >= 0) return requested;
+  static const int cached = [] {
+    long v = 1;  // default depth: one panel ahead of the trailing update
+    (void)rt::parse_env_long("TSEIG_LOOKAHEAD", 0, 1L << 20, &v);
+    return static_cast<int>(v);
+  }();
+  return cached;
+}
+
 idx Q1Factor::kk(idx j) const { return std::min(rows_of(j + 1), nb); }
 
 idx Q1Factor::ts_index(idx i, idx j) const {
@@ -82,10 +93,18 @@ idx Q1Factor::ts_index(idx i, idx j) const {
 }
 
 Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
+  Sy2sbOptions opts;
+  opts.num_workers = num_workers;
+  return sy2sb(n, a, lda, nb, opts);
+}
+
+Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb,
+                  const Sy2sbOptions& opts) {
   // nb >= n degenerates to a single tile: the "band" is the full lower
   // triangle and Q1 is the identity (no panels to reduce).
   require(n >= 1 && nb >= 1, "sy2sb: bad dimensions");
-  num_workers = rt::resolve_num_workers(num_workers);
+  const int num_workers = rt::resolve_num_workers(opts.num_workers);
+  const int lookahead = resolve_lookahead(opts.lookahead);
 
   SymTileMatrix tiles(n, nb);
   tiles.from_dense(a, lda);
@@ -115,21 +134,36 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
   // sequence, which tests exploit.
   auto run = [&](std::function<void()> fn,
                  const std::vector<rt::Access>& accesses, int priority,
-                 const char* label) {
+                 const char* label) -> idx {
     if (parallel) {
-      rt::TaskGraph::Options opts;
-      opts.priority = priority;
-      opts.label = label;
-      graph.submit(std::move(fn), accesses, opts);
-    } else {
-      // Sequential path: same kernels, same order; the span keeps the
-      // serial timeline comparable with the parallel one.
-      obs::Span span(label);
-      fn();
+      rt::TaskGraph::Options topts;
+      topts.priority = priority;
+      topts.label = label;
+      return graph.submit(std::move(fn), accesses, topts);
     }
+    // Sequential path: same kernels, same order; the span keeps the
+    // serial timeline comparable with the parallel one.
+    obs::Span span(label);
+    fn();
+    return -1;
   };
 
+  // Look-ahead bookkeeping: every task id of panel j, so the chain head of
+  // panel j + lookahead + 1 can be gated on the panel's completion.  The
+  // hazard edges alone already let a panel factorize as soon as its own
+  // columns are up to date (the maximal, unbounded look-ahead); the gate
+  // edges are what *bound* the pipeline depth, keeping the working set and
+  // the ready queue proportional to lookahead + 1 panels.  Gates only add
+  // ordering on top of the hazards, so every schedule stays a valid
+  // topological order of the same kernel sequence (bitwise contract).
+  std::vector<std::vector<idx>> panel_tasks(
+      static_cast<size_t>(std::max<idx>(0, nt - 1)));
+
   for (idx j = 0; j + 1 < nt; ++j) {
+    auto panel_task = [&, j](idx id) {
+      if (parallel) panel_tasks[static_cast<size_t>(j)].push_back(id);
+      return id;
+    };
     const idx m1 = tiles.rows_of(j + 1);
     const idx kj = std::min(m1, nb);
     Matrix& vgj = q1.vg[static_cast<size_t>(j)];
@@ -138,7 +172,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
     tgj.reshape(kj, kj);
 
     // --- Panel: GEQRT on tile (j+1, j). ---
-    run(
+    const idx chain_head = panel_task(run(
         [&tiles, &vgj, &tgj, j, m1, kj, nb] {
           rt::touch_write(tile_key(j + 1, j));
           rt::touch_write(
@@ -149,10 +183,18 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
         },
         {rt::wr(tile_key(j + 1, j)),
          rt::wr(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0))},
-        /*priority=*/3, "geqrt");
+        /*priority=*/3, "geqrt"));
+    // Depth gate: the whole factorization chain of panel j (this GEQRT and
+    // its TSQRT tree, which the tile (j+1, j) hazards serialize behind it)
+    // may only start once panel j - lookahead - 1 has completely finished.
+    if (parallel && j >= static_cast<idx>(lookahead) + 1) {
+      const auto& gate =
+          panel_tasks[static_cast<size_t>(j - lookahead - 1)];
+      for (idx before : gate) graph.add_dependency(before, chain_head);
+    }
 
     // --- Two-sided application of the GEQRT reflector. ---
-    run(
+    panel_task(run(
         [&tiles, &vgj, &tgj, j, m1, kj] {
           rt::touch_read(
               rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0));
@@ -163,9 +205,9 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
         },
         {rt::rd(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0)),
          rt::wr(tile_key(j + 1, j + 1))},
-        /*priority=*/2, "syrfb");
+        /*priority=*/2, "syrfb"));
     for (idx k = j + 2; k < nt; ++k) {
-      run(
+      panel_task(run(
           [&tiles, &vgj, &tgj, j, k, m1, kj] {
             rt::touch_read(
                 rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0));
@@ -178,7 +220,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
           },
           {rt::rd(rt::region_key(kTagVg, static_cast<std::uint32_t>(j), 0)),
            rt::wr(tile_key(k, j + 1))},
-          /*priority=*/1, "ormqr");
+          /*priority=*/1, "ormqr"));
     }
 
     // --- Flat TSQRT tree coupling tile (j+1, j) with each tile below. ---
@@ -193,7 +235,7 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
       const auto vkey = rt::region_key(kTagVts, static_cast<std::uint32_t>(i),
                                        static_cast<std::uint32_t>(j));
 
-      run(
+      panel_task(run(
           [&tiles, &vts, &tts, i, j, m1, m2, nb, vkey] {
             rt::touch_write(tile_key(j + 1, j));
             rt::touch_write(tile_key(i, j));
@@ -207,10 +249,10 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
           },
           {rt::wr(tile_key(j + 1, j)), rt::wr(tile_key(i, j)),
            rt::wr(vkey)},
-          /*priority=*/3, "tsqrt");
+          /*priority=*/3, "tsqrt"));
 
       // Corner: tiles (j+1, j+1), (i, j+1), (i, i).
-      run(
+      panel_task(run(
           [&tiles, &vts, &tts, i, j, m1, m2, nb, vkey] {
             rt::touch_read(vkey);
             rt::touch_write(tile_key(j + 1, j + 1));
@@ -224,14 +266,14 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
           },
           {rt::rd(vkey), rt::wr(tile_key(j + 1, j + 1)),
            rt::wr(tile_key(i, j + 1)), rt::wr(tile_key(i, i))},
-          /*priority=*/2, "tsmqr_corner");
+          /*priority=*/2, "tsmqr_corner"));
 
       // Remaining pairs in the trailing submatrix.
       for (idx k2 = j + 2; k2 < nt; ++k2) {
         if (k2 == i) continue;
         if (k2 > i) {
           // Right update of the stored pair (k2, j+1), (k2, i).
-          run(
+          panel_task(run(
               [&tiles, &vts, &tts, i, j, k2, m1, m2, nb, vkey] {
                 rt::touch_read(vkey);
                 rt::touch_write(tile_key(k2, j + 1));
@@ -244,11 +286,11 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
               },
               {rt::rd(vkey), rt::wr(tile_key(k2, j + 1)),
                rt::wr(tile_key(k2, i))},
-              /*priority=*/1, "tsmqr_right");
+              /*priority=*/1, "tsmqr_right"));
         } else {
           // Left update where the block-row-(j+1) tile is stored transposed
           // (the symmetric-layout "hetra" case).
-          run(
+          panel_task(run(
               [&tiles, &vts, &tts, i, j, k2, m1, m2, nb, vkey] {
                 rt::touch_read(vkey);
                 rt::touch_write(tile_key(k2, j + 1));
@@ -262,13 +304,27 @@ Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb, int num_workers) {
               },
               {rt::rd(vkey), rt::wr(tile_key(k2, j + 1)),
                rt::wr(tile_key(i, k2))},
-              /*priority=*/1, "tsmqr_left");
+              /*priority=*/1, "tsmqr_left"));
         }
       }
     }
   }
 
-  if (parallel) graph.run(num_workers);
+  if (parallel) {
+    if (lookahead >= 1) {
+      // Depth-aware priorities: the height of each task in the gated DAG
+      // (longest chain of tasks it still heads, the obs critical-path DP).
+      // The panel chains tower over their trailing updates, so ready-queue
+      // order drives the next panel's GEQRT/TSQRT forward while tsmqr
+      // updates stream on the remaining workers.  Depth 0 keeps the legacy
+      // static 3/2/1 scheme -- with a single panel in flight there is no
+      // chain to favor.
+      graph.apply_critical_path_priorities();
+    }
+    graph.set_schedule_info(lookahead,
+                            lookahead >= 1 ? "critical-path" : "static");
+    graph.run(num_workers);
+  }
 
   // Extract the band: diagonal tiles plus the R factors left in the
   // subdiagonal tiles.

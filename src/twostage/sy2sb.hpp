@@ -52,13 +52,38 @@ struct Sy2sbResult {
   Q1Factor q1;
 };
 
+/// Scheduling options of the dense-to-band reduction.
+struct Sy2sbOptions {
+  /// == 1 runs the plain sequential tile loop; > 1 executes the task DAG on
+  /// that many workers borrowed from the persistent pool; <= 0 selects the
+  /// library default (TSEIG_NUM_THREADS).
+  int num_workers = 1;
+  /// Look-ahead depth of the panel pipeline (parallel runs only).  The
+  /// factorization chain of panel j (its GEQRT + TSQRT tree) starts as soon
+  /// as the updates touching panel j's own columns are done AND panel
+  /// j - 1 - lookahead has fully completed, so at most lookahead + 1 panels
+  /// are in flight:
+  ///   0  -- bulk-synchronous: each panel waits for the whole trailing
+  ///         update of its predecessor (legacy static 3/2/1 priorities);
+  ///   d>=1 -- d+1 panels pipeline; ready-queue priorities switch to the
+  ///         critical-path heights from the obs reverse-topological DP;
+  ///   <0 -- resolve TSEIG_LOOKAHEAD (default 1).
+  /// Look-ahead only adds ordering edges, so results stay bitwise identical
+  /// across every depth, worker count and fuzzed schedule.
+  int lookahead = -1;
+};
+
+/// Resolves a look-ahead request: values >= 0 pass through; < 0 reads
+/// TSEIG_LOOKAHEAD once (strict parse, warning + default 1 on bad values).
+int resolve_lookahead(int requested);
+
 /// Reduces the symmetric matrix held in `a` (lower triangle, n-by-n, lda)
-/// to band form with bandwidth nb.
-///
-/// `num_workers` == 1 runs the plain sequential tile loop; > 1 executes the
-/// task DAG on that many workers borrowed from the persistent pool; <= 0
-/// selects the library default (TSEIG_NUM_THREADS).  The contents of `a`
-/// are not modified (the reduction works on a tiled copy).
+/// to band form with bandwidth nb.  The contents of `a` are not modified
+/// (the reduction works on a tiled copy).
+Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb,
+                  const Sy2sbOptions& opts);
+
+/// Back-compat overload: worker count only, default look-ahead.
 Sy2sbResult sy2sb(idx n, const double* a, idx lda, idx nb,
                   int num_workers = 1);
 

@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/rng.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
+#include "runtime/task_graph.hpp"
 #include "solver/syev.hpp"
 #include "test_support.hpp"
 
@@ -190,6 +193,59 @@ TEST(Obs, PerSolveExportPathsWriteFilesAndRestoreState) {
     EXPECT_NO_THROW(obs::json_parse(buf.str()));
     std::remove(path.c_str());
   }
+}
+
+TEST(Obs, ZeroDurationPhaseHasFiniteEfficiency) {
+  // A phase span of zero width (or one with no workers) must produce 0%
+  // parallel efficiency, never NaN/inf -- and the exported JSON must stay
+  // parseable (NaN would be an invalid token).
+  obs::reset();
+  obs::set_enabled(true);
+  const double t = obs::now_seconds();
+  obs::record_phase_span("stage1", obs::Phase::stage1, t, t);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+
+  const obs::Report rep = obs::analyze(snap);
+  for (const obs::PhaseReport& p : rep.phases) {
+    EXPECT_TRUE(std::isfinite(p.parallel_efficiency)) << p.name;
+    EXPECT_EQ(p.parallel_efficiency, 0.0) << p.name;
+    EXPECT_TRUE(std::isfinite(p.serial_seconds)) << p.name;
+  }
+  const obs::JsonValue doc = obs::json_parse(obs::to_metrics_json(snap));
+  const obs::Report rep2 = obs::report_from_metrics_json(doc);
+  for (const obs::PhaseReport& p : rep2.phases)
+    EXPECT_TRUE(std::isfinite(p.parallel_efficiency)) << p.name;
+}
+
+TEST(Obs, GraphScheduleMetadataRoundTripsThroughMetrics) {
+  obs::reset();
+  obs::set_enabled(true);
+  rt::TaskGraph g;
+  g.set_schedule_info(2, "critical-path");
+  for (int i = 0; i < 4; ++i)
+    g.submit([] {},
+             {rt::wr(rt::region_key(31, static_cast<std::uint32_t>(i), 0))});
+  g.run(2);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+
+  ASSERT_EQ(snap.graphs.size(), 1u);
+  EXPECT_EQ(snap.graphs[0].lookahead, 2);
+  EXPECT_STREQ(snap.graphs[0].priority_scheme, "critical-path");
+
+  const obs::Report rep = obs::report_from_metrics_json(
+      obs::json_parse(obs::to_metrics_json(snap)));
+  ASSERT_EQ(rep.graphs.size(), 1u);
+  EXPECT_EQ(rep.graphs[0].lookahead, 2);
+  EXPECT_EQ(rep.graphs[0].priority_scheme, "critical-path");
+
+  // The human-readable summary prints the schedule line.
+  const std::string text = obs::format_report(rep);
+  EXPECT_NE(text.find("lookahead=2"), std::string::npos);
+  EXPECT_NE(text.find("critical-path"), std::string::npos);
 }
 
 }  // namespace

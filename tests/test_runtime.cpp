@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "common/rng.hpp"
+#include "runtime/env.hpp"
 #include "runtime/task_graph.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -348,6 +351,120 @@ TEST(Runtime, BackToBackRunsCreateNoThreadsWhenWarm) {
   EXPECT_EQ(after.threads_created, warm.threads_created)
       << "warm TaskGraph::run spawned OS threads";
   EXPECT_GT(after.jobs_executed, warm.jobs_executed);
+}
+
+// ---- Ready-queue ordering: FIFO tie-break, aging, critical-path ------------
+
+TEST(ReadyQueue, FifoTieBreakAmongEqualPriorities) {
+  // Regression for the deterministic tie-break contract: strictly higher
+  // priority first, and submission order (FIFO) within each priority level.
+  // One worker makes the pop sequence fully deterministic; the schedule
+  // fuzzer (TSEIG_FUZZ_SEED) deliberately randomizes it, so pin it off.
+  TaskGraph g;
+  g.disable_fuzzing();
+  std::vector<int> log;
+  const int pri[] = {0, 5, 0, 5, 0, 5};
+  for (int i = 0; i < 6; ++i) {
+    TaskGraph::Options o;
+    o.priority = pri[i];
+    g.submit([&log, i] { log.push_back(i); },
+             {wr(region_key(21, static_cast<std::uint32_t>(i), 0))}, o);
+  }
+  g.run(1);
+  const std::vector<int> expect = {1, 3, 5, 0, 2, 4};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(ReadyQueue, AgingBoundsStarvationDeterministically) {
+  // Ten independent tasks; the first has the lowest priority and would run
+  // last under pure priority order.  With an aging window of 2 it is passed
+  // over exactly twice and must run third; the high-priority tasks keep
+  // their FIFO order around it.
+  TaskGraph g;
+  g.disable_fuzzing();  // asserts exact pop order; see previous test
+  g.set_priority_aging(2);
+  EXPECT_EQ(g.priority_aging(), 2);
+  std::vector<int> log;
+  for (int i = 0; i < 10; ++i) {
+    TaskGraph::Options o;
+    o.priority = i == 0 ? 0 : 10;
+    g.submit([&log, i] { log.push_back(i); },
+             {wr(region_key(22, static_cast<std::uint32_t>(i), 0))}, o);
+  }
+  g.run(1);
+  const std::vector<int> expect = {1, 2, 0, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(log, expect);
+}
+
+TEST(ReadyQueue, AgingDisabledRunsPurePriorityOrder) {
+  TaskGraph g;
+  g.disable_fuzzing();      // asserts exact pop order; see previous test
+  g.set_priority_aging(0);  // window <= 0 disables the FIFO escape hatch
+  std::vector<int> log;
+  for (int i = 0; i < 10; ++i) {
+    TaskGraph::Options o;
+    o.priority = i == 0 ? 0 : 10;
+    g.submit([&log, i] { log.push_back(i); },
+             {wr(region_key(23, static_cast<std::uint32_t>(i), 0))}, o);
+  }
+  g.run(1);
+  ASSERT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.back(), 0);  // starved all the way to the end
+}
+
+TEST(ReadyQueue, CriticalPathPrioritiesFavorTheLongChain) {
+  // Independent task D is submitted first; the chain A -> B -> C after it.
+  // Default (all-equal) priorities run D first via the FIFO tie-break;
+  // critical-path priorities lift the chain head above it and D only runs
+  // once it ties with the chain tail.
+  const auto chain = region_key(24, 0, 0);
+  auto build = [&](std::vector<char>& log, TaskGraph& g) {
+    g.submit([&log] { log.push_back('D'); }, {wr(region_key(24, 9, 0))});
+    g.submit([&log] { log.push_back('A'); }, {rd(chain), wr(chain)});
+    g.submit([&log] { log.push_back('B'); }, {rd(chain), wr(chain)});
+    g.submit([&log] { log.push_back('C'); }, {rd(chain), wr(chain)});
+  };
+  {
+    TaskGraph g;
+    g.disable_fuzzing();  // asserts exact pop order
+    std::vector<char> log;
+    build(log, g);
+    g.run(1);
+    const std::vector<char> expect = {'D', 'A', 'B', 'C'};
+    EXPECT_EQ(log, expect);
+  }
+  {
+    TaskGraph g;
+    g.disable_fuzzing();  // asserts exact pop order
+    std::vector<char> log;
+    build(log, g);
+    g.apply_critical_path_priorities();
+    g.run(1);
+    const std::vector<char> expect = {'A', 'B', 'D', 'C'};
+    EXPECT_EQ(log, expect);
+  }
+}
+
+TEST(ReadyQueue, EnvParsingRejectsMalformedValues) {
+  long v = 42;
+  ::setenv("TSEIG_TEST_ENV", "7", 1);
+  EXPECT_TRUE(rt::parse_env_long("TSEIG_TEST_ENV", 1, 100, &v));
+  EXPECT_EQ(v, 7);
+
+  // Rejected values must leave the caller's default untouched.
+  for (const char* bad : {"0", "-3", "12abc", "", "1e3", "101",
+                          "99999999999999999999999"}) {
+    SCOPED_TRACE(bad);
+    v = 42;
+    ::setenv("TSEIG_TEST_ENV", bad, 1);
+    EXPECT_FALSE(rt::parse_env_long("TSEIG_TEST_ENV", 1, 100, &v));
+    EXPECT_EQ(v, 42);
+  }
+
+  ::unsetenv("TSEIG_TEST_ENV");
+  v = 42;
+  EXPECT_FALSE(rt::parse_env_long("TSEIG_TEST_ENV", 1, 100, &v));
+  EXPECT_EQ(v, 42);
 }
 
 }  // namespace

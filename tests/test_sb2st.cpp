@@ -175,6 +175,113 @@ TEST(Sb2st, TinyMatrices) {
   }
 }
 
+// ---- Successive band reduction (nb -> nb/2 -> 1) ---------------------------
+
+TEST(Sb2stSuccessive, SpectrumAndCombinedSimilarityHold) {
+  const idx n = 48, bw = 8;  // intermediate bandwidth nb/2 = 4
+  Rng rng(21);
+  auto band = random_band(n, bw, rng);
+  Matrix bdense = band.to_dense();
+
+  twostage::Sb2stOptions opts;
+  opts.successive = true;
+  auto res = twostage::sb2st(band, opts);
+  ASSERT_EQ(res.pre_levels.size(), 1u);
+  EXPECT_EQ(res.pre_levels[0].target(), 4);
+  EXPECT_EQ(res.pre_levels[0].nb(), 8);
+  EXPECT_EQ(res.v2.nb(), 4);
+  EXPECT_EQ(res.v2.target(), 1);
+
+  // Eigenvalues survive both levels.
+  auto expect = dense_eigenvalues(bdense);
+  std::vector<double> d = res.d, e = res.e;
+  lapack::sterf(n, d.data(), e.data());
+  for (idx i = 0; i < n; ++i)
+    EXPECT_NEAR(d[static_cast<size_t>(i)], expect[static_cast<size_t>(i)],
+                1e-10 * n)
+        << i;
+
+  // The intermediate matrix Q_A^T B Q_A must actually have bandwidth nb/2.
+  Matrix qa = dense_q2(res.pre_levels[0]);
+  Matrix qb = dense_q2(res.v2);
+  EXPECT_LE(orthogonality_error(qa), 1e-12 * n);
+  EXPECT_LE(orthogonality_error(qb), 1e-12 * n);
+  Matrix bqa(n, n), b1(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, bdense.data(), bdense.ld(),
+             qa.data(), qa.ld(), 0.0, bqa.data(), bqa.ld());
+  blas::gemm(op::trans, op::none, n, n, n, 1.0, qa.data(), qa.ld(),
+             bqa.data(), bqa.ld(), 0.0, b1.data(), b1.ld());
+  for (idx j = 0; j < n; ++j)
+    for (idx i = 0; i < n; ++i)
+      if (std::abs(i - j) > 4)
+        EXPECT_NEAR(b1(i, j), 0.0, 1e-11 * n) << i << "," << j;
+
+  // Combined Q2 = Q_A Q_B tridiagonalizes B: Q2^T B Q2 == T.
+  Matrix q2(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, qa.data(), qa.ld(),
+             qb.data(), qb.ld(), 0.0, q2.data(), q2.ld());
+  Matrix bq(n, n), t(n, n);
+  blas::gemm(op::none, op::none, n, n, n, 1.0, bdense.data(), bdense.ld(),
+             q2.data(), q2.ld(), 0.0, bq.data(), bq.ld());
+  blas::gemm(op::trans, op::none, n, n, n, 1.0, q2.data(), q2.ld(),
+             bq.data(), bq.ld(), 0.0, t.data(), t.ld());
+  for (idx j = 0; j < n; ++j) {
+    for (idx i = 0; i < n; ++i) {
+      double expect_t = 0.0;
+      if (i == j) expect_t = res.d[static_cast<size_t>(i)];
+      if (i == j + 1) expect_t = res.e[static_cast<size_t>(j)];
+      if (j == i + 1) expect_t = res.e[static_cast<size_t>(i)];
+      EXPECT_NEAR(t(i, j), expect_t, 1e-11 * n) << i << "," << j;
+    }
+  }
+}
+
+TEST(Sb2stSuccessive, ParallelMatchesSequentialBitwise) {
+  const idx n = 60, bw = 8;
+  Rng rng(23);
+  auto band = random_band(n, bw, rng);
+
+  twostage::Sb2stOptions sopts;
+  sopts.successive = true;
+  auto seq = twostage::sb2st(band, sopts);
+  twostage::Sb2stOptions popts = sopts;
+  popts.num_workers = 4;
+  popts.group = 2;
+  auto par = twostage::sb2st(band, popts);
+
+  EXPECT_EQ(seq.d, par.d);
+  EXPECT_EQ(seq.e, par.e);
+  ASSERT_EQ(seq.pre_levels.size(), par.pre_levels.size());
+  auto expect_factor_equal = [](const twostage::V2Factor& a,
+                                const twostage::V2Factor& b) {
+    ASSERT_EQ(a.nsweeps(), b.nsweeps());
+    for (idx s = 0; s < a.nsweeps(); ++s) {
+      for (idx bk = 0; bk < a.nblocks(s); ++bk) {
+        EXPECT_EQ(a.tau(s, bk), b.tau(s, bk));
+        EXPECT_LE(max_abs_diff(a.v(s, bk), b.v(s, bk), a.len(s, bk)), 0.0);
+      }
+    }
+  };
+  expect_factor_equal(seq.v2, par.v2);
+  for (size_t l = 0; l < seq.pre_levels.size(); ++l)
+    expect_factor_equal(seq.pre_levels[l], par.pre_levels[l]);
+}
+
+TEST(Sb2stSuccessive, NarrowBandFallsBackToDirectChase) {
+  // bw = 3 gives nb/2 = 1: the intermediate level would not shrink the
+  // band, so the option must fall back to the direct chase.
+  const idx n = 20, bw = 3;
+  Rng rng(25);
+  auto band = random_band(n, bw, rng);
+  auto direct = twostage::sb2st(band);
+  twostage::Sb2stOptions opts;
+  opts.successive = true;
+  auto res = twostage::sb2st(band, opts);
+  EXPECT_TRUE(res.pre_levels.empty());
+  EXPECT_EQ(direct.d, res.d);
+  EXPECT_EQ(direct.e, res.e);
+}
+
 TEST(Sb2st, TwoStagePipelinePreservesSpectrum) {
   // Dense -> band (stage 1) -> tridiagonal (stage 2): the end-to-end
   // reduction of the paper, eigenvalues must match the prescribed spectrum.
