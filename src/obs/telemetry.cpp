@@ -145,6 +145,7 @@ const char* phase_name(Phase p) {
     case Phase::solve: return "solve";
     case Phase::update: return "update";
     case Phase::batch: return "batch";
+    case Phase::small_n: return "small_n";
     case Phase::count: break;
   }
   return "?";

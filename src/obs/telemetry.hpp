@@ -81,6 +81,7 @@ enum class Phase : std::uint8_t {
   solve,      // eigen of T (stedc / steqr / bisect)
   update,     // back-transformation(s) (q2, q1, ormtr)
   batch,      // syev_batch scheduling region
+  small_n,    // closed-form n <= 3 fast lane (solver::small)
   count
 };
 constexpr int kPhaseCount = static_cast<int>(Phase::count);

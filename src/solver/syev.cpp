@@ -11,6 +11,7 @@
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
 #include "onestage/sytrd.hpp"
+#include "solver/syev_small.hpp"
 #include "tridiag/bisect.hpp"
 #include "tridiag/stedc.hpp"
 #include "twostage/q2_apply.hpp"
@@ -86,6 +87,20 @@ void timed(obs::Phase phase, const char* label, double& seconds,
       obs::record_counter("flop_rate_gflops",
                           static_cast<double>(f) / (t1 - t0) * 1e-9);
   }
+}
+
+/// Closed-form lane driver for n <= 3: one kernel call replaces every
+/// pipeline phase, then the same range/fraction selection semantics as
+/// tridiag_subset are applied to the full (ascending) spectrum.  The whole
+/// lane is accounted under the solve phase (reduction and update are
+/// genuinely zero work here).
+SyevResult solve_small_n(idx n, const double* a, idx lda,
+                         const SyevOptions& opts) {
+  SyevResult res;
+  timed(obs::Phase::small_n, "small_n", res.phases.solve_seconds,
+        res.phases.solve_flops,
+        [&] { res = small::solve_lane(n, a, lda, opts); });
+  return res;
 }
 
 SyevResult solve_one_stage(idx n, const double* a, idx lda,
@@ -352,8 +367,10 @@ SyevResult syev(idx n, const double* a, idx lda, const SyevOptions& opts) {
   if (obs::enabled() && !nested)
     obs::set_run_meta({"syev", n, o.nb, o.num_workers});
 
-  SyevResult res = o.algo == method::one_stage ? solve_one_stage(n, a, lda, o)
-                                               : solve_two_stage(n, a, lda, o);
+  SyevResult res =
+      small::lane_eligible(n, o) ? solve_small_n(n, a, lda, o)
+      : o.algo == method::one_stage ? solve_one_stage(n, a, lda, o)
+                                    : solve_two_stage(n, a, lda, o);
   if (per_solve) {
     const obs::Snapshot snap = obs::snapshot();
     if (!o.trace_path.empty()) obs::write_chrome_trace_file(snap, o.trace_path);

@@ -87,6 +87,13 @@ struct SyevOptions {
   bool successive_bands = false;
   /// D&C crossover to QL/QR.
   idx dc_crossover = 32;
+  /// Closed-form fast lane for n <= 3 (solver::small): branch-light direct
+  /// kernels replace the whole reduce/solve/update pipeline, which is what
+  /// makes million-matrix tiny-n batch streams throughput-bound instead of
+  /// scheduling-bound.  Default on; TSEIG_SMALL_N=0 vetoes it process-wide
+  /// (the lane-vs-pipeline debugging oracle).  Results of the two paths
+  /// agree to the usual scaled-oracle bounds but are not bitwise identical.
+  bool small_n_closed_form = true;
   /// Per-solve telemetry export (tseig::obs): non-empty paths turn recording
   /// on for this call and write a Chrome/Perfetto trace and/or a
   /// "tseig-metrics-v1" JSON when the solve returns.  Independent of the

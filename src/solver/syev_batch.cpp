@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "common/flops.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/validate.hpp"
+#include "solver/syev_small.hpp"
 
 namespace tseig::solver {
 namespace {
@@ -23,6 +25,13 @@ constexpr std::uint32_t kTagBatch = 10;
 int lpt_priority(idx n) {
   return static_cast<int>(std::min<idx>(n, 1 << 30));
 }
+
+/// Closed-form lane problems coalesced per chunk task: one n <= 3 solve is
+/// sub-microsecond, far below the profitable TaskGraph granularity, so a
+/// million-matrix tiny stream scheduled one-task-per-problem would be
+/// scheduler-bound.  256 solves per task amortizes submission and keeps
+/// plenty of chunks in flight for load balance.
+constexpr idx kTinyChunk = 256;
 
 }  // namespace
 
@@ -54,19 +63,65 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
   // every other subsystem on one timeline.
   obs::PhaseScope batch_phase(obs::Phase::batch);
   const double t_base = obs::now_seconds();
-  std::vector<idx> small, large;
+  // One acceptance stamp for the whole submission loop: the loop itself is
+  // sub-microsecond per problem, and a per-problem clock read would cost as
+  // much as a closed-form tiny solve.
+  const double t_enq = obs::now_seconds();
+  const bool rec = obs::enabled();
+  std::vector<idx> small_list, large, tiny;
   for (idx i = 0; i < count; ++i) {
+    const BatchProblem& p = problems[static_cast<size_t>(i)];
     BatchProblemStats& st = out.stats.problems[static_cast<size_t>(i)];
-    st.n = problems[static_cast<size_t>(i)].n;
+    st.n = p.n;
     st.whole_problem = st.n <= crossover;
-    const double t_enq = obs::now_seconds();
     st.enqueue_seconds = t_enq - t_base;
-    obs::record_span("batch_enqueue", t_enq, t_enq,
-                     static_cast<std::int32_t>(i));
-    (st.whole_problem ? small : large).push_back(i);
+    if (rec)
+      obs::record_span("batch_enqueue", t_enq, t_enq,
+                       static_cast<std::int32_t>(i));
+    // Lane-eligible tiny problems are whole-problem work too, but coalesced
+    // into chunk tasks (see kTinyChunk); routing them separately is pure
+    // scheduling -- the per-problem solve is untouched.
+    (st.whole_problem ? (small::lane_eligible(p.n, p.opts) ? tiny : small_list)
+                      : large)
+        .push_back(i);
   }
-  out.stats.whole_problem_count = static_cast<idx>(small.size());
+  out.stats.whole_problem_count =
+      static_cast<idx>(small_list.size() + tiny.size());
   out.stats.partitioned_count = static_cast<idx>(large.size());
+  out.stats.tiny_lane_count = static_cast<idx>(tiny.size());
+
+  // Trimmed per-problem path for closed-form lane members: same kernels and
+  // selection as syev() (bitwise-identical results), but one clock-read pair
+  // and one flop scope per problem instead of the general entry's option
+  // resolution, worker budgeting and telemetry guards -- which would
+  // otherwise dominate a sub-microsecond solve.  Stats carry exactly the
+  // fields the general path fills.
+  // Chunk members run back to back on one worker, so timestamps chain: the
+  // previous member's end is this member's start, and N solves cost N + 1
+  // clock reads instead of 2N (a read is as expensive as a tiny solve).
+  // Returns the end stamp for the next member.
+  auto solve_tiny = [&](idx i, double t0) {
+    const BatchProblem& p = problems[static_cast<size_t>(i)];
+    BatchProblemStats& st = out.stats.problems[static_cast<size_t>(i)];
+    SyevResult& res = out.results[static_cast<size_t>(i)];
+    st.start_seconds = t0 - t_base;
+    st.worker = std::max(0, rt::TaskGraph::current_worker());
+    {
+      obs::PhaseScope scope_phase(obs::Phase::small_n);
+      FlopScope scope;
+      res = small::solve_lane(p.n, p.a, p.lda, p.opts);
+      res.phases.solve_flops = scope.count();
+    }
+    const double t1 = obs::now_seconds();
+    res.phases.solve_seconds = t1 - t0;
+    st.phases = res.phases;
+    st.end_seconds = t1 - t_base;
+    if (obs::enabled()) {
+      obs::record_phase_span("small_n", obs::Phase::small_n, t0, t1);
+      obs::record_span("batch_solve", t0, t1, static_cast<std::int32_t>(i));
+    }
+    return t1;
+  };
 
   auto solve_into = [&](idx i, int num_workers) {
     const BatchProblem& p = problems[static_cast<size_t>(i)];
@@ -96,7 +151,7 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
   // Small problems: independent whole-problem tasks, up to `budget` in
   // flight, each solved with one worker (the nesting rule would serialize
   // inner constructs regardless; passing 1 makes the plan honest).
-  if (!small.empty()) {
+  if (!small_list.empty() || !tiny.empty()) {
     rt::TaskGraph g;
     rt::RegionMap region_map;
     if (g.validation_enabled()) {
@@ -113,7 +168,7 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
           });
       g.set_region_map(&region_map);
     }
-    for (idx i : small) {
+    for (idx i : small_list) {
       const auto bkey =
           rt::region_key(kTagBatch, static_cast<std::uint32_t>(i), 0);
       rt::TaskGraph::Options topts;
@@ -126,7 +181,43 @@ SyevBatchResult syev_batch(const std::vector<BatchProblem>& problems,
           },
           {rt::rd(bkey)}, topts);
     }
-    g.run(static_cast<int>(std::min<idx>(budget, static_cast<idx>(small.size()))));
+    // Closed-form lane chunks: each task declares a read on every member's
+    // region (same hazard contract as one-task-per-problem) and solves its
+    // members in input order with the unchanged per-problem path, so results
+    // and per-problem stats stay exactly what sequential solves produce.
+    for (size_t c = 0; c < tiny.size(); c += static_cast<size_t>(kTinyChunk)) {
+      const size_t end =
+          std::min(tiny.size(), c + static_cast<size_t>(kTinyChunk));
+      std::vector<idx> chunk(tiny.begin() + static_cast<std::ptrdiff_t>(c),
+                             tiny.begin() + static_cast<std::ptrdiff_t>(end));
+      std::vector<rt::Access> acc;
+      acc.reserve(chunk.size());
+      idx sum_n = 0;
+      for (idx i : chunk) {
+        acc.push_back(rt::rd(
+            rt::region_key(kTagBatch, static_cast<std::uint32_t>(i), 0)));
+        sum_n += problems[static_cast<size_t>(i)].n;
+      }
+      rt::TaskGraph::Options topts;
+      // LPT on the chunk's aggregate work, not a single member's n.
+      topts.priority = lpt_priority(sum_n);
+      topts.label = "batch_tiny_chunk";
+      g.submit(
+          [&solve_tiny, chunk = std::move(chunk)] {
+            double t = obs::now_seconds();
+            for (idx i : chunk) {
+              rt::touch_read(
+                  rt::region_key(kTagBatch, static_cast<std::uint32_t>(i), 0));
+              t = solve_tiny(i, t);
+            }
+          },
+          acc, topts);
+    }
+    const idx task_count = static_cast<idx>(
+        small_list.size() +
+        (tiny.size() + static_cast<size_t>(kTinyChunk) - 1) /
+            static_cast<size_t>(kTinyChunk));
+    g.run(static_cast<int>(std::min<idx>(budget, task_count)));
   }
 
   const double t_end = obs::now_seconds();

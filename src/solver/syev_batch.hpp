@@ -98,6 +98,14 @@ struct BatchStats {
   idx crossover = 0;         ///< resolved inter/intra split point
   idx whole_problem_count = 0;  ///< problems scheduled as single tasks
   idx partitioned_count = 0;    ///< problems given the full budget
+  /// Problems routed through the closed-form n <= 3 lane (solver::small).
+  /// These are whole-problem scheduled like any small problem (and counted
+  /// in whole_problem_count too) but coalesced into fixed-size chunk tasks:
+  /// a single closed-form solve is far below the profitable task
+  /// granularity, so chunking amortizes the scheduler instead of drowning
+  /// it in microsecond tasks.  Coalescing never changes results -- each
+  /// member still runs the exact per-problem solve.
+  idx tiny_lane_count = 0;
   double total_seconds = 0.0;   ///< batch makespan
   /// Sum of per-problem solve intervals (the "work"); with perfect packing
   /// busy == num_workers * total.

@@ -1,0 +1,93 @@
+// Adversarial test-matrix generator (LAPACK xLATMS role): deterministic
+// symmetric matrices with *prescribed* spectra, so tests can assert
+// eigenvalue error against known ground truth instead of only residuals.
+//
+// A spectrum is chosen from a catalog of classically hard shapes --
+// machine-eps clusters, geometric grading to condition 1e15, Wilkinson W+
+// and glued-Wilkinson ladders, sign-flip spectra, exact and near zeros --
+// optionally scaled toward the under/overflow edges, then realized as
+// A = Q diag(eigs) Q^T with a seeded random orthogonal Q built by Stewart's
+// shrinking-reflector method (product of Householder reflectors on trailing
+// blocks; Haar-distributed, O(n^3), no QR needed).  The same seed always
+// produces the same bytes on every platform (xoshiro-based Rng).
+//
+// This is the harness every future type/precision sweep reuses (ROADMAP
+// item 4): generate(), assert with the shared scaled oracles plus
+// check_eigenvalues() against Generated::eigs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.hpp"
+#include "common/types.hpp"
+
+namespace tseig::testing::matgen {
+
+/// Spectrum catalog.  All shapes are normalized to max |eig| = 1 before
+/// Spec::scale is applied, so `scale` alone decides the floating-point range
+/// being probed.
+enum class spectrum_class {
+  clustered_eps,    // three anchors, members split by a few ulps each
+  graded,           // geometric decay 1 .. 1/kappa (condition = kappa)
+  wilkinson,        // eigenvalues of the Wilkinson ladder W_n^+
+  glued_wilkinson,  // Wilkinson blocks glued with weak couplings
+  sign_flip,        // graded magnitudes with alternating signs
+  near_zero,        // +/- wings plus exact zeros and a few-ulp neighborhood
+  random_uniform,   // seeded uniform (-1, 1), sorted
+};
+
+const char* class_name(spectrum_class c);
+
+/// One generator request; the seed covers both the spectrum (where random)
+/// and the orthogonal similarity.
+struct Spec {
+  spectrum_class cls = spectrum_class::random_uniform;
+  idx n = 0;
+  double kappa = 1.0e6;     // graded / sign_flip condition target
+  double scale = 1.0;       // overall multiplier ({tiny, 1, huge} sweeps)
+  std::uint64_t seed = 0;
+};
+
+/// Generated problem: full symmetric matrix (both triangles coherent), the
+/// orthogonal similarity that built it and the prescribed spectrum.
+struct Generated {
+  Spec spec;
+  Matrix a;                   // n-by-n, A = Q diag(eigs) Q^T to O(n eps)
+  Matrix q;                   // the accumulated orthogonal factor
+  std::vector<double> eigs;   // ground truth, ascending, already scaled
+};
+
+/// The prescribed spectrum of a Spec (ascending, scaled) without realizing
+/// the dense matrix.
+std::vector<double> spectrum(const Spec& s);
+
+/// Realizes the Spec as a dense symmetric matrix (Stewart's method).
+Generated generate(const Spec& s);
+
+/// The standard torture sweep: every spectrum class crossed with scales
+/// {1e-120, 1, 1e120} (chosen so the Frobenius-norm oracles, which square
+/// entries, stay inside the double range), kappa pushed to the class's
+/// documented limit, seeds derived from seed_base.
+std::vector<Spec> torture_cases(idx n, std::uint64_t seed_base);
+
+// ---- Tridiagonal builders (for stedc / steqr / sterf-level tests) ----
+
+struct Tridiag {
+  std::vector<double> d;  // n diagonal entries
+  std::vector<double> e;  // n - 1 off-diagonal entries
+};
+
+/// Wilkinson ladder W_n^+: d_i = |i - (n-1)/2|, e = 1.  For odd n the
+/// classic nearly-paired eigenvalues; any n >= 1 accepted.
+Tridiag wilkinson(idx n);
+
+/// `blocks` Wilkinson ladders of size `block_n` glued by couplings `glue`
+/// (classic deflation stressor for D&C: eigenvalues nearly `blocks`-fold
+/// degenerate for small glue).
+Tridiag glued_wilkinson(idx blocks, idx block_n, double glue);
+
+/// Eigenvalues of a tridiagonal via the serial sterf oracle (ascending).
+std::vector<double> tridiag_eigenvalues(const Tridiag& t);
+
+}  // namespace tseig::testing::matgen

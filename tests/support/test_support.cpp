@@ -247,6 +247,41 @@ bool check_shapes(const Matrix& a, const std::vector<double>& w,
   return ok ? ::testing::AssertionSuccess() : fail;
 }
 
+double scaled_eigenvalue_error(const std::vector<double>& w_true,
+                               const std::vector<double>& w) {
+  double norm = 0.0;
+  for (double v : w_true) norm = std::max(norm, std::fabs(v));
+  if (norm == 0.0) norm = 1.0;
+  double worst = 0.0;
+  for (size_t i = 0; i < w.size(); ++i)
+    worst = std::max(worst, std::fabs(w[i] - w_true[i]));
+  return worst /
+         (static_cast<double>(std::max<size_t>(1, w_true.size())) * kEps *
+          norm);
+}
+
+::testing::AssertionResult check_eigenvalues(const std::vector<double>& w_true,
+                                             const std::vector<double>& w,
+                                             double tol) {
+  ::testing::AssertionResult fail = ::testing::AssertionFailure();
+  bool ok = true;
+  if (w.size() > w_true.size()) {
+    fail << "computed " << w.size() << " eigenvalues but ground truth has "
+         << w_true.size() << "; ";
+    return fail;
+  }
+  if (!std::is_sorted(w.begin(), w.end())) {
+    fail << "eigenvalues not ascending; ";
+    ok = false;
+  }
+  const double err = scaled_eigenvalue_error(w_true, w);
+  if (!(err <= tol)) {
+    fail << "scaled eigenvalue error " << err << " > " << tol << "; ";
+    ok = false;
+  }
+  return ok ? ::testing::AssertionSuccess() : fail;
+}
+
 ::testing::AssertionResult check_generalized_eigen_pairs(
     const Matrix& a, const Matrix& b, const std::vector<double>& w,
     const Matrix& z, double residual_tol, double orth_tol) {

@@ -104,4 +104,18 @@ double scaled_b_orthogonality(const Matrix& b, const Matrix& z);
     const Matrix& a, const Matrix& b, const std::vector<double>& w,
     const Matrix& z, double residual_tol = 50.0, double orth_tol = 50.0);
 
+/// max_i |w[i] − w_true[i]| / (n ε max(max|w_true|, 1 if all zero)): scaled
+/// eigenvalue error against a *known* spectrum (matgen ground truth), the
+/// Weyl-bound metric a normwise backward-stable solver keeps O(1..tens)
+/// regardless of conditioning or scale.  Compares the first w.size() entries
+/// of w_true (the "m smallest" subset convention); both must be ascending.
+double scaled_eigenvalue_error(const std::vector<double>& w_true,
+                               const std::vector<double>& w);
+
+/// EXPECT_TRUE-able wrapper: w.size() <= w_true.size(), both ascending, and
+/// scaled_eigenvalue_error <= tol.  Reports the offending metric on failure.
+::testing::AssertionResult check_eigenvalues(const std::vector<double>& w_true,
+                                             const std::vector<double>& w,
+                                             double tol = 50.0);
+
 }  // namespace tseig::testing

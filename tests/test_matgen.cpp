@@ -1,0 +1,148 @@
+// Self-tests for the adversarial matrix generator (tests/support/matgen):
+// the generator is itself an oracle for the solver torture suites, so it
+// gets verified against the one reference it cannot share with the solver
+// under test -- the serial one-stage sytrd + sterf chain -- plus structural
+// checks (orthogonality round-trip, seed determinism, Wilkinson shape).
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "lapack/steqr.hpp"
+#include "matgen.hpp"
+#include "onestage/sytrd.hpp"
+#include "test_support.hpp"
+
+namespace tseig {
+namespace {
+
+using testing::matgen::Generated;
+using testing::matgen::Spec;
+using testing::matgen::spectrum_class;
+
+/// Serial eigenvalue oracle: one-stage tridiagonalization + sterf, nothing
+/// shared with matgen's construction (which never tridiagonalizes).
+std::vector<double> dense_eigenvalues(const Matrix& a) {
+  const idx n = a.rows();
+  Matrix work = a;
+  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n)),
+      tau(static_cast<size_t>(n));
+  onestage::sytrd(n, work.data(), work.ld(), d.data(), e.data(), tau.data(),
+                  32);
+  lapack::sterf(n, d.data(), e.data());
+  return d;
+}
+
+TEST(Matgen, ReproducesPrescribedSpectrumThroughSterfOracle) {
+  for (const Spec& s : testing::matgen::torture_cases(64, 77)) {
+    SCOPED_TRACE(::testing::Message()
+                 << testing::matgen::class_name(s.cls) << " scale "
+                 << s.scale);
+    const Generated g = testing::matgen::generate(s);
+    ASSERT_EQ(g.eigs.size(), 64u);
+    EXPECT_TRUE(std::is_sorted(g.eigs.begin(), g.eigs.end()));
+    // Frobenius-oracle-safe scales only (squares of 1e120 stay in range).
+    EXPECT_TRUE(testing::check_eigenvalues(g.eigs, dense_eigenvalues(g.a)));
+  }
+}
+
+TEST(Matgen, OrthogonalSimilarityRoundTrip) {
+  Spec s;
+  s.cls = spectrum_class::graded;
+  s.n = 48;
+  s.kappa = 1e12;
+  s.seed = 5;
+  const Generated g = testing::matgen::generate(s);
+  // Q is orthogonal...
+  EXPECT_LE(testing::scaled_orthogonality(g.q), 50.0);
+  // ...and diagonalizes A back to the prescribed spectrum: Q^T A Q = diag.
+  Matrix aq(s.n, s.n), qtaq(s.n, s.n);
+  testing::ref_gemm(op::none, op::none, s.n, s.n, s.n, 1.0, g.a.data(),
+                    g.a.ld(), g.q.data(), g.q.ld(), 0.0, aq.data(), aq.ld());
+  testing::ref_gemm(op::trans, op::none, s.n, s.n, s.n, 1.0, g.q.data(),
+                    g.q.ld(), aq.data(), aq.ld(), 0.0, qtaq.data(),
+                    qtaq.ld());
+  double off = 0.0, diag_err = 0.0;
+  for (idx j = 0; j < s.n; ++j) {
+    for (idx i = 0; i < s.n; ++i) {
+      if (i == j)
+        diag_err = std::max(
+            diag_err, std::fabs(qtaq(i, i) - g.eigs[static_cast<size_t>(i)]));
+      else
+        off = std::max(off, std::fabs(qtaq(i, j)));
+    }
+  }
+  const double tol = 50.0 * static_cast<double>(s.n) *
+                     std::numeric_limits<double>::epsilon();
+  EXPECT_LE(off, tol);
+  EXPECT_LE(diag_err, tol);
+}
+
+TEST(Matgen, SeedDeterminismIsBitwise) {
+  Spec s;
+  s.cls = spectrum_class::random_uniform;
+  s.n = 32;
+  s.seed = 1234;
+  const Generated g1 = testing::matgen::generate(s);
+  const Generated g2 = testing::matgen::generate(s);
+  EXPECT_EQ(testing::max_abs_diff(g1.a, g2.a), 0.0);
+  EXPECT_EQ(testing::max_abs_diff(g1.q, g2.q), 0.0);
+  ASSERT_EQ(g1.eigs.size(), g2.eigs.size());
+  for (size_t i = 0; i < g1.eigs.size(); ++i)
+    EXPECT_EQ(g1.eigs[i], g2.eigs[i]);
+
+  s.seed = 1235;  // a different seed must give a different similarity
+  const Generated g3 = testing::matgen::generate(s);
+  EXPECT_GT(testing::max_abs_diff(g1.a, g3.a), 0.0);
+}
+
+TEST(Matgen, WilkinsonLadderShapeAndPairing) {
+  const auto t = testing::matgen::wilkinson(21);
+  ASSERT_EQ(t.d.size(), 21u);
+  ASSERT_EQ(t.e.size(), 20u);
+  EXPECT_EQ(t.d[10], 0.0);  // center of the ladder
+  EXPECT_EQ(t.d[0], 10.0);
+  EXPECT_EQ(t.d[20], 10.0);
+  for (double v : t.e) EXPECT_EQ(v, 1.0);
+  // The famous near-degenerate pairs: the top eigenvalues of W21+ agree to
+  // ~1e-15 relative but are NOT equal.
+  const auto w = testing::matgen::tridiag_eigenvalues(t);
+  const double top = w[20], second = w[19];
+  EXPECT_NEAR(top, second, 1e-12);
+  EXPECT_NE(top, second);
+}
+
+TEST(Matgen, GluedWilkinsonBlocksAndCouplings) {
+  const auto t = testing::matgen::glued_wilkinson(3, 7, 1e-10);
+  ASSERT_EQ(t.d.size(), 21u);
+  ASSERT_EQ(t.e.size(), 20u);
+  EXPECT_EQ(t.e[6], 1e-10);   // first glue (after block 0's 6 couplings)
+  EXPECT_EQ(t.e[13], 1e-10);  // second glue
+  EXPECT_EQ(t.e[0], 1.0);
+  // Weak gluing makes eigenvalues nearly 3-fold degenerate: each block
+  // eigenvalue appears ~3 times within the coupling strength.
+  const auto w = testing::matgen::tridiag_eigenvalues(t);
+  const auto wb = testing::matgen::tridiag_eigenvalues(
+      testing::matgen::wilkinson(7));
+  for (size_t b = 0; b < 7; ++b)
+    for (size_t c = 0; c < 3; ++c)
+      EXPECT_NEAR(w[3 * b + c], wb[b], 1e-8);
+}
+
+TEST(Matgen, SpectrumMatchesGenerateAndScaleIsExactForTinyN) {
+  // spectrum() without realization must agree with Generated::eigs.
+  for (idx n : {1, 2, 3, 17}) {
+    Spec s;
+    s.cls = spectrum_class::near_zero;
+    s.n = n;
+    s.scale = 1e-120;
+    s.seed = 9;
+    const auto w = testing::matgen::spectrum(s);
+    const Generated g = testing::matgen::generate(s);
+    ASSERT_EQ(w.size(), static_cast<size_t>(n));
+    for (size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w[i], g.eigs[i]);
+  }
+}
+
+}  // namespace
+}  // namespace tseig

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/generators.hpp"
+#include "matgen.hpp"
 #include "solver/syev.hpp"
 #include "test_support.hpp"
 
@@ -144,6 +145,40 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple<idx, idx, idx>(63, 16, 16),
                       std::make_tuple<idx, idx, idx>(64, 32, 5),
                       std::make_tuple<idx, idx, idx>(65, 64, 7)));  // nb ~ n
+
+class PipelineLargeMatgen
+    : public ::testing::TestWithParam<testing::matgen::spectrum_class> {};
+
+TEST_P(PipelineLargeMatgen, LargeAdversarialSpectraTwoStageDC) {
+  // Production-scale regression: n = 1024 matgen matrices with known ground
+  // truth through the default two-stage + D&C path.  Clustered-at-eps and
+  // graded (kappa = 1e12) spectra are the classic accuracy killers for
+  // tridiagonalization + D&C; the Weyl-scaled eigenvalue oracle must hold.
+  const idx n = 1024;
+  testing::matgen::Spec spec;
+  spec.cls = GetParam();
+  spec.n = n;
+  spec.kappa = 1e12;
+  spec.seed = 1024;
+  const auto g = testing::matgen::generate(spec);
+
+  SyevOptions opts;
+  opts.algo = method::two_stage;
+  opts.solver = eig_solver::dc;
+  auto res = syev(n, g.a.data(), g.a.ld(), opts);
+
+  EXPECT_TRUE(testing::check_eigenvalues(g.eigs, res.eigenvalues, 200.0));
+  EXPECT_TRUE(
+      testing::check_eigen_pairs(g.a, res.eigenvalues, res.z, 200.0, 200.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LargeMatgen, PipelineLargeMatgen,
+    ::testing::Values(testing::matgen::spectrum_class::clustered_eps,
+                      testing::matgen::spectrum_class::graded),
+    [](const auto& info) {
+      return std::string(testing::matgen::class_name(info.param));
+    });
 
 TEST(PipelineEdge, NegativeDefiniteMatrix) {
   const idx n = 32;

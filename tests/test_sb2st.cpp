@@ -10,6 +10,7 @@
 #include "lapack/generators.hpp"
 #include "lapack/householder.hpp"
 #include "lapack/steqr.hpp"
+#include "matgen.hpp"
 #include "onestage/sytrd.hpp"
 #include "test_support.hpp"
 #include "twostage/sb2st.hpp"
@@ -297,6 +298,30 @@ TEST(Sb2st, TwoStagePipelinePreservesSpectrum) {
   for (idx i = 0; i < n; ++i)
     EXPECT_NEAR(d[static_cast<size_t>(i)], eigs[static_cast<size_t>(i)],
                 1e-9 * n);
+}
+
+TEST(Sb2st, MatgenAdversarialSpectraSurviveBothStages) {
+  // The same end-to-end reduction over the matgen torture catalog: graded,
+  // clustered and near-zero spectra (with known ground truth) must come out
+  // of sy2sb -> sb2st -> sterf within the Weyl-scaled eigenvalue bound.
+  const idx n = 56, nb = 8;
+  for (auto cls : {testing::matgen::spectrum_class::clustered_eps,
+                   testing::matgen::spectrum_class::graded,
+                   testing::matgen::spectrum_class::near_zero,
+                   testing::matgen::spectrum_class::glued_wilkinson}) {
+    testing::matgen::Spec spec;
+    spec.cls = cls;
+    spec.n = n;
+    spec.kappa = 1e12;
+    spec.seed = 31;
+    const auto g = testing::matgen::generate(spec);
+    SCOPED_TRACE(testing::matgen::class_name(cls));
+    auto s1 = twostage::sy2sb(n, g.a.data(), g.a.ld(), nb, 1);
+    auto s2 = twostage::sb2st(s1.band);
+    std::vector<double> d = s2.d, e = s2.e;
+    lapack::sterf(n, d.data(), e.data());
+    EXPECT_TRUE(testing::check_eigenvalues(g.eigs, d));
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
+#include "matgen.hpp"
 #include "test_support.hpp"
 #include "tridiag/stedc.hpp"
 
@@ -109,16 +110,13 @@ TEST(Stedc, ZeroCouplingSplitsCleanly) {
 }
 
 TEST(Stedc, GluedWilkinsonHeavyDeflation) {
-  // Glued Wilkinson matrices: famously clustered spectrum that stresses
-  // deflation and eigenvector orthogonality.
-  const idx blocks = 4, bn = 21;
-  const idx n = blocks * bn;
-  std::vector<double> d(static_cast<size_t>(n)), e(static_cast<size_t>(n), 0.0);
-  for (idx b = 0; b < blocks; ++b)
-    for (idx i = 0; i < bn; ++i)
-      d[static_cast<size_t>(b * bn + i)] = std::fabs(static_cast<double>(i) - 10.0);
-  for (idx i = 0; i + 1 < n; ++i)
-    e[static_cast<size_t>(i)] = (i % bn == bn - 1) ? 1e-8 : 1.0;
+  // Glued Wilkinson matrices (matgen builder): famously clustered spectrum
+  // that stresses deflation and eigenvector orthogonality.
+  const auto glued = testing::matgen::glued_wilkinson(4, 21, 1e-8);
+  const idx n = static_cast<idx>(glued.d.size());
+  const std::vector<double>& d = glued.d;
+  std::vector<double> e = glued.e;
+  e.resize(static_cast<size_t>(n), 0.0);
 
   Matrix t = tridiag_dense(n, d, e);
   std::vector<double> dc = d, ec = e;
@@ -126,10 +124,30 @@ TEST(Stedc, GluedWilkinsonHeavyDeflation) {
   tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 16);
   // Clustered spectra stress orthogonality; allow extra headroom.
   EXPECT_TRUE(testing::check_eigen_pairs(t, dc, z, 200.0, 200.0));
+  // D&C eigenvalues against the independent sterf oracle.
+  EXPECT_TRUE(testing::check_eigenvalues(
+      testing::matgen::tridiag_eigenvalues(glued), dc, 200.0));
 
   const auto stats = tridiag::stedc_last_stats();
   EXPECT_GT(stats.merges, 0);
   EXPECT_GT(stats.deflated, 0);  // clustered spectrum must deflate
+}
+
+TEST(Stedc, WilkinsonLadderNearDegeneratePairs) {
+  // W21+ through D&C: the nearly-equal top pairs must come out distinct,
+  // ordered and orthogonal (a classic inverse-iteration failure mode that
+  // D&C must not share).
+  const auto wil = testing::matgen::wilkinson(21);
+  const idx n = 21;
+  std::vector<double> dc = wil.d, ec = wil.e;
+  ec.resize(static_cast<size_t>(n), 0.0);
+  Matrix z(n, n);
+  tridiag::stedc(n, dc.data(), ec.data(), z.data(), z.ld(), 8);
+  Matrix t = tridiag_dense(n, wil.d, wil.e);
+  EXPECT_TRUE(testing::check_eigen_pairs(t, dc, z));
+  EXPECT_TRUE(testing::check_eigenvalues(
+      testing::matgen::tridiag_eigenvalues(wil), dc));
+  EXPECT_LT(dc[19], dc[20]);  // the famous pair stays strictly ordered
 }
 
 TEST(Stedc, ConstantDiagonalDeflatesCompletely) {

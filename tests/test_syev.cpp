@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "lapack/generators.hpp"
+#include "matgen.hpp"
 #include "solver/syev.hpp"
 #include "test_support.hpp"
 
@@ -211,6 +212,10 @@ TEST(Syev, TinyMatrices) {
       SyevOptions opts;
       opts.algo = algo;
       opts.nb = 4;
+      // This is a *pipeline* regression test: keep the closed-form lane out
+      // so n <= 3 still exercises the reduction path (the lane has its own
+      // suite in test_syev_small).
+      opts.small_n_closed_form = false;
       auto res = solver::syev(n, a.data(), a.ld(), opts);
       EXPECT_TRUE(testing::check_eigen_pairs(a, res.eigenvalues, res.z));
     }
@@ -225,8 +230,11 @@ TEST(Syev, TinyMatricesTwoStageAllConfigs) {
   for (idx n : {idx{1}, idx{2}, idx{3}}) {
     Matrix a = testing::random_symmetric(n, rng);
 
-    // Reference spectrum from the one-stage QR path.
+    // Reference spectrum from the one-stage QR path.  The whole test pins
+    // the closed-form lane off: it exists to exercise the two-stage
+    // reduction at n <= 3, which the lane would otherwise bypass.
     SyevOptions ref_opts;
+    ref_opts.small_n_closed_form = false;
     ref_opts.algo = method::one_stage;
     ref_opts.solver = eig_solver::qr;
     ref_opts.nb = 2;
@@ -236,6 +244,7 @@ TEST(Syev, TinyMatricesTwoStageAllConfigs) {
          {eig_solver::qr, eig_solver::dc, eig_solver::bisect}) {
       for (jobz job : {jobz::vectors, jobz::values_only}) {
         SyevOptions opts;
+        opts.small_n_closed_form = false;
         opts.algo = method::two_stage;
         opts.solver = sol;
         opts.job = job;
@@ -259,6 +268,30 @@ TEST(Syev, TinyMatricesTwoStageAllConfigs) {
   }
 }
 
+
+TEST(Syev, MatgenTortureCatalogBothMethods) {
+  // Adversarial spectra with known ground truth (tests/support/matgen):
+  // clustered at ulp spacing, graded to condition 1e15, Wilkinson ladders,
+  // sign flips, exact zeros, each at scales 1e-120 / 1 / 1e120.  Both
+  // reduction methods must pass the residual/orthogonality oracles AND
+  // reproduce the prescribed eigenvalues to the Weyl-scaled bound.
+  const idx n = 48;
+  for (const auto& spec : testing::matgen::torture_cases(n, 2026)) {
+    const auto g = testing::matgen::generate(spec);
+    for (method algo : {method::one_stage, method::two_stage}) {
+      SCOPED_TRACE(::testing::Message()
+                   << testing::matgen::class_name(spec.cls) << " scale "
+                   << spec.scale << (algo == method::one_stage ? " one" : " two")
+                   << "-stage");
+      SyevOptions opts;
+      opts.algo = algo;
+      opts.nb = 16;
+      auto res = syev(n, g.a.data(), g.a.ld(), opts);
+      EXPECT_TRUE(testing::check_eigen_pairs(g.a, res.eigenvalues, res.z));
+      EXPECT_TRUE(testing::check_eigenvalues(g.eigs, res.eigenvalues));
+    }
+  }
+}
 
 TEST(Syev, AutoNbSelectsValidTiling) {
   // nb == 0 picks a size-dependent tile width; results must stay correct.

@@ -11,9 +11,11 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "matgen.hpp"
 #include "obs/telemetry.hpp"
 #include "solver/syev.hpp"
 #include "solver/syev_batch.hpp"
+#include "solver/syev_small.hpp"
 #include "test_support.hpp"
 
 namespace tseig {
@@ -239,6 +241,49 @@ TEST(SyevBatch, StatsAreConsistent) {
   }
   EXPECT_EQ(whole, st.whole_problem_count);
   EXPECT_DOUBLE_EQ(busy, st.busy_seconds);
+  // The mixed batch contains n = 1 and n = 2 problems with the closed-form
+  // lane at its default (on): they must be counted as tiny-lane routed
+  // (zero when the TSEIG_SMALL_N=0 oracle vetoes the lane process-wide).
+  EXPECT_EQ(st.tiny_lane_count, solver::small::env_enabled() ? 2 : 0);
+}
+
+TEST(SyevBatch, MatgenTortureBatchMatchesGroundTruth) {
+  // One batch holding the whole adversarial catalog at several sizes: every
+  // result must reproduce its problem's prescribed spectrum, whichever lane
+  // or pipeline path the scheduler routed it through.
+  std::vector<testing::matgen::Generated> storage;
+  std::vector<BatchProblem> batch;
+  for (idx n : {idx{2}, idx{3}, idx{24}}) {
+    for (const auto& spec : testing::matgen::torture_cases(n, 500 + n)) {
+      storage.push_back(testing::matgen::generate(spec));
+      BatchProblem p;
+      p.n = n;
+      p.a = storage.back().a.data();
+      p.lda = storage.back().a.ld();
+      p.opts.nb = 8;
+      batch.push_back(p);
+    }
+  }
+  SyevBatchOptions bopts;
+  bopts.num_workers = 4;
+  const SyevBatchResult out = syev_batch(batch, bopts);
+  ASSERT_EQ(out.results.size(), batch.size());
+  // Two of the three sizes are lane-eligible (unless TSEIG_SMALL_N=0).
+  EXPECT_EQ(out.stats.tiny_lane_count,
+            solver::small::env_enabled()
+                ? static_cast<idx>(2 * batch.size() / 3)
+                : 0);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    SCOPED_TRACE(::testing::Message()
+                 << "problem " << i << " ("
+                 << testing::matgen::class_name(storage[i].spec.cls)
+                 << ", n " << batch[i].n << ", scale "
+                 << storage[i].spec.scale << ")");
+    EXPECT_TRUE(testing::check_eigenvalues(storage[i].eigs,
+                                           out.results[i].eigenvalues));
+    EXPECT_TRUE(testing::check_eigen_pairs(
+        storage[i].a, out.results[i].eigenvalues, out.results[i].z));
+  }
 }
 
 TEST(SyevBatch, PerProblemFlopsAreIsolated) {
