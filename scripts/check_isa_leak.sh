@@ -10,9 +10,18 @@
 #   kernel_avx2.o    -- ymm allowed, zmm forbidden (built -mavx2 -mno-avx512f);
 #   everything else  -- no ymm, no zmm.
 #
-# Only meaningful on a build whose global flags do not enable AVX themselves,
-# so the check requires TSEIG_NATIVE=OFF in the build's CMake cache and skips
-# (exit 0, with a notice) otherwise.  x86-only; skips on other arches.
+# Additionally, the bitwise cross-tier contract: kernel_*.o and blas3.o must
+# contain NO fused-multiply-add instructions (vfmadd/vfmsub/vfnmadd/vfnmsub)
+# on ANY tier -- those TUs build with -ffp-contract=off precisely so that
+# TSEIG_KERNEL=scalar reproduces the SIMD tiers bit for bit, and one fused
+# instruction (an intrinsic slipping in, or the flag falling off a TU)
+# silently breaks that.  This scan is valid on every build, including
+# -march=native ones, because the per-TU flags always win.
+#
+# The wide-register scan is only meaningful on a build whose global flags do
+# not enable AVX themselves, so it requires TSEIG_NATIVE=OFF in the build's
+# CMake cache and skips (exit 0, with a notice) otherwise.  x86-only; skips
+# on other arches.
 #
 # Usage: scripts/check_isa_leak.sh [build-dir]   (default: build)
 set -e
@@ -34,12 +43,6 @@ if [ ! -f "$CACHE" ]; then
   echo "check_isa_leak: no CMake cache at $CACHE" >&2
   exit 1
 fi
-if ! grep -q '^TSEIG_NATIVE:BOOL=OFF' "$CACHE"; then
-  echo "check_isa_leak: build uses native flags (TSEIG_NATIVE!=OFF);" \
-       "wide instructions are legal everywhere, skipping"
-  exit 0
-fi
-
 OBJDIR=$(dirname "$(find "$BUILD" -path '*tseig.dir*' -name 'blas3*.o*' \
                    | head -n 1)")
 if [ -z "$OBJDIR" ] || [ ! -d "$OBJDIR" ]; then
@@ -52,8 +55,38 @@ fi
 uses_reg() { # obj regex
   objdump -d "$1" 2>/dev/null | grep -Eq "%$2[0-9]"
 }
+uses_fma() { # obj
+  objdump -d "$1" 2>/dev/null | grep -Eq '\bvf(n?madd|n?msub)[0-9]{3}'
+}
 
+# --- FMA contract scan: runs on every build configuration. ------------------
 fail=0
+fma_checked=0
+for obj in $(find "$OBJDIR" \( -name 'kernel_*.o' -o -name 'blas3*.o' \
+             -o -name 'kernel_*.obj' -o -name 'blas3*.obj' \) | sort); do
+  fma_checked=$((fma_checked + 1))
+  if uses_fma "$obj"; then
+    echo "FMA LEAK: $(basename "$obj") contains fused multiply-add" \
+         "instructions; the cross-tier bitwise contract requires every" \
+         "product to round (-ffp-contract=off, no FMA intrinsics)"
+    fail=1
+  fi
+done
+if [ "$fma_checked" -eq 0 ]; then
+  echo "check_isa_leak: found no kernel objects for the FMA scan" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_isa_leak: FAILED (FMA in bitwise-contract TUs)" >&2
+  exit 1
+fi
+echo "check_isa_leak: FMA scan OK ($fma_checked bitwise-contract objects)"
+
+if ! grep -q '^TSEIG_NATIVE:BOOL=OFF' "$CACHE"; then
+  echo "check_isa_leak: build uses native flags (TSEIG_NATIVE!=OFF);" \
+       "wide instructions are legal everywhere, skipping register scan"
+  exit 0
+fi
 checked=0
 for obj in $(find "$OBJDIR" -name '*.o' -o -name '*.obj' | sort); do
   base=$(basename "$obj")

@@ -1,42 +1,86 @@
 #!/bin/sh
-# Runs clang-tidy (config: .clang-tidy at the repo root) over the runtime
-# and two-stage sources using the compile_commands.json of an existing or
-# freshly configured build tree.  Advisory by default -- pass --strict to
-# exit non-zero on any finding (the CI lint job stays non-blocking either
-# way via continue-on-error).
+# Lint gate, two layers:
 #
-# Usage: scripts/run_tidy.sh [--strict] [build-dir]   (default: build-tidy)
+#   1. tseig-tidy (tools/tseig-tidy): the project-specific checks
+#      (no-raw-thread, kernel-fp-contract, task-touch-discipline,
+#      no-wallclock).  The token-engine binary builds with any C++20
+#      compiler, so this layer ALWAYS runs and is BLOCKING -- a finding
+#      fails the script on every toolchain, including the CI lint job.
+#   2. stock clang-tidy with the repo .clang-tidy profile, plus the
+#      tseig_tidy_plugin module via -load when it was built
+#      (-DTSEIG_TIDY_PLUGIN=ON with Clang dev libraries).  Skipped with a
+#      notice when clang-tidy is not installed; blocking when it runs.
+#
+# Usage: scripts/run_tidy.sh [--self-test] [build-dir]   (default: build-tidy)
+#   --self-test  additionally asserts the fixture files still trip every
+#                tseig-tidy check (engine sanity, same ground the gtest
+#                suite covers -- useful without a test build).
 set -e
 cd "$(dirname "$0")/.."
 
-STRICT=0
-if [ "$1" = "--strict" ]; then
-  STRICT=1
+SELF_TEST=0
+if [ "$1" = "--self-test" ]; then
+  SELF_TEST=1
   shift
 fi
 BUILD=${1:-build-tidy}
 
-TIDY=${CLANG_TIDY:-clang-tidy}
-if ! command -v "$TIDY" >/dev/null 2>&1; then
-  echo "run_tidy.sh: $TIDY not found; skipping lint (install clang-tidy to run)" >&2
-  exit 0
-fi
-
-if [ ! -f "$BUILD/compile_commands.json" ]; then
+if [ ! -f "$BUILD/CMakeCache.txt" ]; then
   cmake -B "$BUILD" -S . \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
     -DTSEIG_NATIVE=OFF
 fi
 
-FILES=$(find src/runtime src/twostage src/tridiag src/solver -name '*.cpp' | sort)
-STATUS=0
-for f in $FILES; do
-  echo "== $TIDY $f"
-  "$TIDY" -p "$BUILD" --quiet "$f" || STATUS=1
-done
+# ---------------------------------------------------------------------------
+# Layer 1: tseig-tidy over every source and header in src/ (blocking).
+cmake --build "$BUILD" --target tseig-tidy -j "$(nproc 2>/dev/null || echo 4)"
+TSEIG_TIDY="$BUILD/tools/tseig-tidy/tseig-tidy"
 
-if [ "$STRICT" = "1" ]; then
-  exit $STATUS
+if [ "$SELF_TEST" = "1" ]; then
+  echo "== tseig-tidy --self-test (fixtures must trip every check)"
+  if OUT=$("$TSEIG_TIDY" --src-root tools/tseig-tidy/fixtures \
+           src/solver/bad_thread.cpp src/blas/kernels/bad_fma.cpp \
+           src/twostage/bad_touch.cpp src/solver/bad_wallclock.cpp \
+           src/solver/clean.cpp); then
+    echo "self-test FAILED: fixtures produced no findings" >&2
+    exit 1
+  fi
+  for check in tseig-no-raw-thread tseig-kernel-fp-contract \
+               tseig-task-touch-discipline tseig-no-wallclock-in-kernels; do
+    if ! echo "$OUT" | grep -q "\[$check\]"; then
+      echo "self-test FAILED: $check did not fire on its fixture" >&2
+      exit 1
+    fi
+  done
+  echo "self-test OK"
 fi
-exit 0
+
+echo "== tseig-tidy src/"
+FILES=$(find src -name '*.cpp' -o -name '*.hpp' -o -name '*.inl' | sort)
+# shellcheck disable=SC2086
+"$TSEIG_TIDY" --src-root . $FILES
+
+# ---------------------------------------------------------------------------
+# Layer 2: stock clang-tidy (+ plugin when built), blocking when available.
+TIDY=${CLANG_TIDY:-clang-tidy}
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_tidy.sh: $TIDY not found; ran the tseig-tidy layer only" >&2
+  exit 0
+fi
+
+PLUGIN=""
+for so in "$BUILD"/tools/tseig-tidy/libtseig_tidy_plugin.*; do
+  [ -f "$so" ] && PLUGIN="-load=$so"
+done
+CHECKS_ARG=""
+[ -n "$PLUGIN" ] && CHECKS_ARG="--checks=tseig-*"
+
+STATUS=0
+for f in $(find src/runtime src/twostage src/tridiag src/solver \
+           -name '*.cpp' | sort); do
+  echo "== $TIDY $f"
+  # shellcheck disable=SC2086
+  "$TIDY" $PLUGIN $CHECKS_ARG -p "$BUILD" --quiet "$f" || STATUS=1
+done
+exit $STATUS

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "common/thread_annotations.hpp"
 #include "obs/report.hpp"
 
 namespace tseig::obs {
@@ -68,15 +69,18 @@ struct Lane {
 /// Global recorder state (cold paths only; the rings above are the hot
 /// path).
 struct Recorder {
-  std::mutex mu;
-  std::vector<Lane*> lanes;            // owned, never freed
-  std::vector<GraphRun> graphs;
-  std::vector<WorkerMetric> workers;
-  RunMeta meta;
-  std::uint64_t dropped_graphs = 0;
-  std::string trace_path;
-  std::string metrics_path;
-  bool atexit_registered = false;
+  Mutex mu;
+  /// Registered lanes (owned, never freed).  The vector is mu-guarded; the
+  /// Lane objects themselves are single-producer rings written lock-free by
+  /// their owning threads and read via acquire loads.
+  std::vector<Lane*> lanes TSEIG_GUARDED_BY(mu);
+  std::vector<GraphRun> graphs TSEIG_GUARDED_BY(mu);
+  std::vector<WorkerMetric> workers TSEIG_GUARDED_BY(mu);
+  RunMeta meta TSEIG_GUARDED_BY(mu);
+  std::uint64_t dropped_graphs TSEIG_GUARDED_BY(mu) = 0;
+  std::string trace_path TSEIG_GUARDED_BY(mu);
+  std::string metrics_path TSEIG_GUARDED_BY(mu);
+  bool atexit_registered TSEIG_GUARDED_BY(mu) = false;
 };
 
 Recorder& recorder() {
@@ -89,7 +93,7 @@ std::atomic<std::uint8_t> g_phase{0};
 Lane& this_lane() {
   thread_local Lane* lane = [] {
     Recorder& r = recorder();
-    std::lock_guard<std::mutex> lock(r.mu);
+    LockGuard lock(r.mu);
     auto* l = new Lane(static_cast<std::uint16_t>(r.lanes.size()));
     r.lanes.push_back(l);
     return l;
@@ -101,7 +105,7 @@ void export_at_exit() {
   Recorder& r = recorder();
   std::string trace, metrics;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    LockGuard lock(r.mu);
     trace = r.trace_path;
     metrics = r.metrics_path;
   }
@@ -205,7 +209,7 @@ void record_counter(const char* name, double value) {
 void record_graph_run(GraphRun&& run) {
   if (!enabled()) return;
   Recorder& r = recorder();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   if (r.graphs.size() >= kMaxGraphRuns) {
     ++r.dropped_graphs;
     return;
@@ -215,20 +219,20 @@ void record_graph_run(GraphRun&& run) {
 
 void publish_worker_metrics(const std::vector<WorkerMetric>& workers) {
   Recorder& r = recorder();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   r.workers = workers;
 }
 
 void set_run_meta(const RunMeta& meta) {
   Recorder& r = recorder();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   r.meta = meta;
 }
 
 Snapshot snapshot() {
   Recorder& r = recorder();
   Snapshot out;
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   for (const Lane* lane : r.lanes) {
     const std::uint64_t nspans =
         lane->span_count.load(std::memory_order_acquire);
@@ -264,7 +268,7 @@ Snapshot snapshot() {
 
 void reset() {
   Recorder& r = recorder();
-  std::lock_guard<std::mutex> lock(r.mu);
+  LockGuard lock(r.mu);
   for (Lane* lane : r.lanes) {
     lane->span_count.store(0, std::memory_order_relaxed);
     lane->counter_count.store(0, std::memory_order_relaxed);
@@ -280,7 +284,7 @@ void set_export_paths(const std::string& trace_path,
   Recorder& r = recorder();
   bool need_atexit = false;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    LockGuard lock(r.mu);
     r.trace_path = trace_path;
     r.metrics_path = metrics_path;
     if (!r.atexit_registered) {

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/thread_annotations.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
@@ -246,7 +247,7 @@ void TaskGraph::run(int num_workers) {
     std::uint64_t enqueued_at;
   };
 
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable cv;
   std::priority_queue<ReadyEntry> shared_ready;
   // Priority aging runs a submission-ordered FIFO next to the heap; both
@@ -310,7 +311,7 @@ void TaskGraph::run(int num_workers) {
   };
 
   {
-    std::lock_guard<std::mutex> lock(mu);
+    LockGuard lock(mu);
     for (idx id = 0; id < static_cast<idx>(tasks_.size()); ++id) {
       if (tasks_[static_cast<size_t>(id)].unmet_dependencies == 0)
         enqueue_ready(id);
@@ -319,7 +320,7 @@ void TaskGraph::run(int num_workers) {
 
   auto worker_loop = [&](int worker_id) {
     GraphWorkerGuard guard(worker_id);
-    std::unique_lock<std::mutex> lock(mu);
+    LockGuard lock(mu);
     for (;;) {
       // Pinned tasks first (they are on this worker's critical path by
       // construction), then the shared pool.
@@ -377,7 +378,7 @@ void TaskGraph::run(int num_workers) {
           cv.notify_all();
           return;
         }
-        cv.wait(lock);
+        cv.wait(lock.native());
         continue;
       }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/flops.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "obs/telemetry.hpp"
 
@@ -39,7 +40,7 @@ struct ThreadPool::Impl {
     // fork_join sees exactly this call's work (and none of the work other
     // concurrent pool clients delegated).
     std::atomic<std::uint64_t> forked_flops{0};
-    std::mutex m;
+    Mutex m;
     std::condition_variable done;
   };
 
@@ -48,37 +49,37 @@ struct ThreadPool::Impl {
     int index = 0;
   };
 
-  std::mutex mu;
+  Mutex mu;
   std::condition_variable work_cv;  // workers park here
-  std::deque<Ticket> queue;
-  std::vector<std::thread> workers;
+  std::deque<Ticket> queue TSEIG_GUARDED_BY(mu);
+  std::vector<std::thread> workers TSEIG_GUARDED_BY(mu);
   // Workers currently executing a ticket body.  The pool keeps
   // workers.size() >= busy + queue.size() so that every queued ticket has a
   // live worker available: TaskGraph pins tasks to logical workers, and a
   // pinned task can only run if its worker loop actually executes
   // concurrently with the rest of the graph.
-  int busy = 0;
-  bool stop = false;
+  int busy TSEIG_GUARDED_BY(mu) = 0;
+  bool stop TSEIG_GUARDED_BY(mu) = false;
 
-  // Counters (mu-protected except jobs, which hot paths bump lock-free).
-  std::uint64_t threads_created = 0;
-  std::uint64_t parks = 0;
-  std::uint64_t unparks = 0;
+  // Counters (mu-guarded except jobs, which hot paths bump lock-free).
+  std::uint64_t threads_created TSEIG_GUARDED_BY(mu) = 0;
+  std::uint64_t parks TSEIG_GUARDED_BY(mu) = 0;
+  std::uint64_t unparks TSEIG_GUARDED_BY(mu) = 0;
   std::atomic<std::uint64_t> jobs{0};
 
-  // Per-worker time accounting for the telemetry layer (mu-protected;
+  // Per-worker time accounting for the telemetry layer (mu-guarded;
   // updated at park/unpark and ticket boundaries, which are coarse).
-  std::vector<obs::WorkerMetric> wtimes;
+  std::vector<obs::WorkerMetric> wtimes TSEIG_GUARDED_BY(mu);
 
-  void worker_main(int id) {
+  void worker_main(int id) TSEIG_EXCLUDES(mu) {
     tl_worker_id = id;
-    std::unique_lock<std::mutex> lock(mu);
+    LockGuard lock(mu);
     for (;;) {
       if (queue.empty()) {
         if (stop) return;
         ++parks;
         const double p0 = obs::now_seconds();
-        work_cv.wait(lock);
+        work_cv.wait(lock.native());
         wtimes[static_cast<size_t>(id)].park_seconds +=
             obs::now_seconds() - p0;
         ++unparks;
@@ -107,10 +108,10 @@ struct ThreadPool::Impl {
   /// telemetry layer.  Publishing on every fork_join completion (and at pool
   /// shutdown) means exports never need to touch the possibly-destroyed
   /// pool.
-  void publish_metrics() {
+  void publish_metrics() TSEIG_EXCLUDES(mu) {
     std::vector<obs::WorkerMetric> copy;
     {
-      std::lock_guard<std::mutex> lock(mu);
+      LockGuard lock(mu);
       copy = wtimes;
     }
     obs::publish_worker_metrics(copy);
@@ -120,15 +121,24 @@ struct ThreadPool::Impl {
   /// The decrement happens under b.m: the caller's wait predicate can only
   /// observe remaining == 0 while holding b.m, i.e. after this worker has
   /// released it, so the batch cannot be destroyed under our feet.
-  static void finish_body(Batch& b) {
-    std::lock_guard<std::mutex> g(b.m);
+  static void finish_body(Batch& b) TSEIG_EXCLUDES(b.m) {
+    LockGuard g(b.m);
     if (b.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
       b.done.notify_all();
   }
 
+  /// Joins every worker at shutdown.  Runs without mu on purpose: holding
+  /// it would deadlock with workers that need it to observe `stop`, and no
+  /// growth can race -- fork_join callers are gone by the time the process
+  /// tears the pool down, so `workers` is frozen.  That quiescence argument
+  /// is outside what the static analysis can see, hence the escape hatch.
+  void join_all() TSEIG_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto& th : workers) th.join();
+  }
+
   /// Grows the pool (caller holds mu) until every outstanding ticket can run
   /// on its own worker.
-  void ensure_capacity() {
+  void ensure_capacity() TSEIG_REQUIRES(mu) {
     const size_t needed = static_cast<size_t>(busy) + queue.size();
     if (wtimes.size() < needed) {
       wtimes.resize(needed);
@@ -158,11 +168,11 @@ ThreadPool::Impl* ThreadPool::impl() {
 ThreadPool::~ThreadPool() {
   if (impl_ == nullptr) return;
   {
-    std::lock_guard<std::mutex> lock(impl_->mu);
+    LockGuard lock(impl_->mu);
     impl_->stop = true;
   }
   impl_->work_cv.notify_all();
-  for (auto& th : impl_->workers) th.join();
+  impl_->join_all();
   // Final per-worker metrics, published before the pool disappears: the
   // telemetry exporter runs later (atexit handlers fire in reverse
   // registration order and the env probe registers during static init) and
@@ -195,7 +205,7 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
   batch.job = &job;
   batch.remaining.store(njobs, std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(im.mu);
+    LockGuard lock(im.mu);
     for (int k = 1; k < njobs; ++k) im.queue.push_back({&batch, k});
     im.ensure_capacity();
   }
@@ -205,8 +215,8 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
   im.jobs.fetch_add(1, std::memory_order_relaxed);
   Impl::finish_body(batch);
 
-  std::unique_lock<std::mutex> lock(batch.m);
-  batch.done.wait(lock, [&] {
+  LockGuard lock(batch.m);
+  batch.done.wait(lock.native(), [&] {
     return batch.remaining.load(std::memory_order_acquire) == 0;
   });
   lock.unlock();
@@ -220,7 +230,7 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
 PoolStats ThreadPool::stats() const {
   PoolStats out;
   Impl* im = const_cast<ThreadPool*>(this)->impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  LockGuard lock(im->mu);
   out.threads_created = im->threads_created;
   out.parks = im->parks;
   out.unparks = im->unparks;
@@ -230,7 +240,7 @@ PoolStats ThreadPool::stats() const {
 
 int ThreadPool::size() const {
   Impl* im = const_cast<ThreadPool*>(this)->impl();
-  std::lock_guard<std::mutex> lock(im->mu);
+  LockGuard lock(im->mu);
   return static_cast<int>(im->workers.size());
 }
 

@@ -10,6 +10,7 @@
 #include "blas/blas1.hpp"
 #include "blas/blas3.hpp"
 #include "common/parallel.hpp"
+#include "common/thread_annotations.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/steqr.hpp"
 #include "obs/telemetry.hpp"
@@ -50,18 +51,21 @@ constexpr idx kSecularGrain = 8;
 struct Ctx {
   int workers = 1;
 
-  void add_stats(const StedcStats& s) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void add_stats(const StedcStats& s) TSEIG_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
     stats_.merges += s.merges;
     stats_.total_size += s.total_size;
     stats_.deflated += s.deflated;
     stats_.secular_solves += s.secular_solves;
   }
-  StedcStats stats() const { return stats_; }
+  StedcStats stats() const TSEIG_EXCLUDES(mu_) {
+    LockGuard lock(mu_);
+    return stats_;
+  }
 
 private:
-  std::mutex mu_;
-  StedcStats stats_;
+  mutable Mutex mu_;
+  StedcStats stats_ TSEIG_GUARDED_BY(mu_);
 };
 
 /// Root of the secular equation f(x) = 1 + sum_i zsq[i]/(delta[i] - x) in

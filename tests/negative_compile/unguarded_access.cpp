@@ -1,0 +1,33 @@
+// Negative-compile fixture for the thread-safety gate: reading a
+// TSEIG_GUARDED_BY member without holding its mutex.  This TU must FAIL to
+// compile under Clang with -Werror=thread-safety (asserted at configure time
+// by the TSEIG_THREAD_SAFETY try_compile and at test time by the
+// WILL_FAIL-inverted `thread_safety_negative` ctest); on GCC the annotations
+// are no-ops and it must compile cleanly (the `thread_safety_noop` ctest).
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+public:
+  void bump() {
+    tseig::LockGuard lock(mu_);
+    ++value_;
+  }
+
+  // BUG (deliberate): reads value_ without mu_.  The Clang thread-safety
+  // analysis must reject this line.
+  int read_unguarded() const { return value_; }
+
+private:
+  mutable tseig::Mutex mu_;
+  int value_ TSEIG_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.read_unguarded();
+}

@@ -1,0 +1,162 @@
+// Tests for the tseig-tidy token engine (tools/tseig-tidy/checks.cpp).
+//
+// Two layers: fixture files under tools/tseig-tidy/fixtures/ seed exactly
+// the violations each check exists to catch (plus NOLINT suppressions and
+// near-miss clean shapes), and the final test audits the real src/ tree --
+// the four invariants are supposed to HOLD today, so any finding there is
+// either a regression in the tree or a false positive in the engine, and
+// both must fail CI.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "checks.hpp"
+
+namespace fs = std::filesystem;
+using tseig::tidy::Finding;
+using tseig::tidy::run_checks;
+using tseig::tidy::run_checks_on_file;
+
+namespace {
+
+#ifndef TSEIG_TIDY_FIXTURES
+#error "build must define TSEIG_TIDY_FIXTURES (see tests/CMakeLists.txt)"
+#endif
+#ifndef TSEIG_SOURCE_ROOT
+#error "build must define TSEIG_SOURCE_ROOT (see tests/CMakeLists.txt)"
+#endif
+
+std::vector<Finding> on_fixture(const std::string& rel) {
+  return run_checks_on_file(TSEIG_TIDY_FIXTURES, rel);
+}
+
+int count_check(const std::vector<Finding>& fs, const std::string& name) {
+  return static_cast<int>(std::count_if(
+      fs.begin(), fs.end(),
+      [&](const Finding& f) { return f.check == name; }));
+}
+
+TEST(TseigTidy, RegistersFourChecks) {
+  const std::vector<std::string> names = tseig::tidy::check_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "tseig-no-raw-thread"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "tseig-kernel-fp-contract"),
+            names.end());
+  EXPECT_NE(
+      std::find(names.begin(), names.end(), "tseig-task-touch-discipline"),
+      names.end());
+  EXPECT_NE(
+      std::find(names.begin(), names.end(), "tseig-no-wallclock-in-kernels"),
+      names.end());
+}
+
+TEST(TseigTidy, NoRawThreadFixture) {
+  const auto findings = on_fixture("src/solver/bad_thread.cpp");
+  // Two spawns fire; hardware_concurrency() and the NOLINT line do not.
+  EXPECT_EQ(count_check(findings, "tseig-no-raw-thread"), 2) << [&] {
+    std::string all;
+    for (const Finding& f : findings) all += f.format() + "\n";
+    return all;
+  }();
+  for (const Finding& f : findings)
+    EXPECT_EQ(f.check, "tseig-no-raw-thread") << f.format();
+}
+
+TEST(TseigTidy, RawThreadAllowedInRuntime) {
+  // The same content under src/runtime/ is the pool's own business.
+  tseig::tidy::FileInput in;
+  in.path = "src/runtime/pool_impl.cpp";
+  in.content = "#include <thread>\nstd::thread t;\n";
+  EXPECT_TRUE(run_checks(in).empty());
+}
+
+TEST(TseigTidy, KernelFpContractFixture) {
+  const auto findings = on_fixture("src/blas/kernels/bad_fma.cpp");
+  // std::fma call + FP_CONTRACT ON pragma + omp simd reduction pragma; the
+  // NOLINT'd fma and the plain a*b+c stay quiet.
+  EXPECT_EQ(count_check(findings, "tseig-kernel-fp-contract"), 3) << [&] {
+    std::string all;
+    for (const Finding& f : findings) all += f.format() + "\n";
+    return all;
+  }();
+}
+
+TEST(TseigTidy, FmaAllowedOutsideKernelTUs) {
+  // fp-contract rules bind only the bitwise-contract TUs.
+  tseig::tidy::FileInput in;
+  in.path = "src/tridiag/stedc.cpp";
+  in.content = "#include <cmath>\ndouble f(double a){return std::fma(a,a,a);}\n";
+  EXPECT_EQ(count_check(run_checks(in), "tseig-kernel-fp-contract"), 0);
+}
+
+TEST(TseigTidy, TaskTouchDisciplineFixture) {
+  const auto findings = on_fixture("src/twostage/bad_touch.cpp");
+  ASSERT_EQ(count_check(findings, "tseig-task-touch-discipline"), 1) << [&] {
+    std::string all;
+    for (const Finding& f : findings) all += f.format() + "\n";
+    return all;
+  }();
+  // The finding names the undeclared kernel, not the compliant ones.
+  for (const Finding& f : findings) {
+    if (f.check == "tseig-task-touch-discipline") {
+      EXPECT_NE(f.message.find("geqrt"), std::string::npos) << f.message;
+    }
+  }
+}
+
+TEST(TseigTidy, NoWallclockFixture) {
+  const auto findings = on_fixture("src/solver/bad_wallclock.cpp");
+  // system_clock + libc time(); steady_clock and the NOLINTNEXTLINE'd read
+  // stay quiet.
+  EXPECT_EQ(count_check(findings, "tseig-no-wallclock-in-kernels"), 2) << [&] {
+    std::string all;
+    for (const Finding& f : findings) all += f.format() + "\n";
+    return all;
+  }();
+}
+
+TEST(TseigTidy, WallclockAllowedInObs) {
+  tseig::tidy::FileInput in;
+  in.path = "src/obs/telemetry.cpp";
+  in.content = "#include <chrono>\nauto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(run_checks(in).empty());
+}
+
+TEST(TseigTidy, CleanFixtureIsClean) {
+  EXPECT_TRUE(on_fixture("src/solver/clean.cpp").empty());
+}
+
+TEST(TseigTidy, FindingFormatIsClangShaped) {
+  Finding f{"src/a.cpp", 12, 5, "tseig-no-raw-thread", "boom"};
+  EXPECT_EQ(f.format(), "src/a.cpp:12:5: warning: boom [tseig-no-raw-thread]");
+}
+
+// The real tree must audit clean: every invariant the four checks encode
+// already holds in src/ (threads only under src/runtime/, no FMA or
+// contraction pragmas in kernel TUs, every task lambda declares its
+// footprint, steady clock everywhere outside src/obs/).  A finding here is
+// a regression or an engine false positive -- both block.
+TEST(TseigTidy, RealSourceTreeAuditsClean) {
+  const fs::path src = fs::path(TSEIG_SOURCE_ROOT) / "src";
+  ASSERT_TRUE(fs::exists(src)) << src;
+  std::string report;
+  int files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(src)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".inl") continue;
+    const std::string rel =
+        "src/" + fs::relative(entry.path(), src).generic_string();
+    ++files;
+    for (const Finding& f : run_checks_on_file(TSEIG_SOURCE_ROOT, rel))
+      report += f.format() + "\n";
+  }
+  EXPECT_GT(files, 40) << "source enumeration looks broken";
+  EXPECT_EQ(report, "");
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// tseig-tidy: project-specific static checks over tseig source files.
+//
+// These encode invariants no stock clang-tidy check knows:
+//
+//   tseig-no-raw-thread        -- std::thread / std::jthread / std::async are
+//                                 the runtime's business; everything else in
+//                                 src/ must go through rt::ThreadPool /
+//                                 TaskGraph / parallel_for, or the pool's
+//                                 zero-thread-after-warmup and nesting
+//                                 contracts silently break.
+//   tseig-kernel-fp-contract   -- the microkernel TUs (src/blas/kernels/*)
+//                                 and the packed driver (src/blas/blas3.cpp)
+//                                 carry the bitwise cross-tier contract: no
+//                                 fma()/FMA intrinsics, no fp-contract or
+//                                 fast-math pragmas, no reassociation
+//                                 pragmas.  One contracted multiply and
+//                                 TSEIG_KERNEL=scalar can no longer
+//                                 reproduce the SIMD tiers bit for bit.
+//   tseig-task-touch-discipline-- a lambda body that calls a tile/chase
+//                                 kernel is (by construction in this code
+//                                 base) a task body; it must report its
+//                                 footprint via rt::touch_read/touch_write
+//                                 or the dynamic hazard checker goes blind
+//                                 for exactly the tasks it exists to watch.
+//   tseig-no-wallclock-in-kernels -- everything outside src/obs/ must stay
+//                                 on the steady clock (obs::now_seconds);
+//                                 system_clock/gettimeofday timestamps jump
+//                                 under NTP and break trace merging.
+//
+// Two implementations share this contract: the dependency-free token-level
+// engine in checks.cpp (built everywhere, drives the blocking CI leg and the
+// gtest fixtures) and the clang-tidy AST plugin in plugin/TseigTidyModule.cpp
+// (built where Clang dev libraries exist, loaded by scripts/run_tidy.sh via
+// -load).  Fixture files under fixtures/ seed one violation per check; the
+// tests assert both engines' check names against them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tseig::tidy {
+
+/// One diagnostic, clang-tidy shaped: path:line:col + check slug + message.
+struct Finding {
+  std::string file;
+  int line = 0;
+  int column = 0;
+  std::string check;  ///< e.g. "tseig-no-raw-thread"
+  std::string message;
+
+  /// "src/foo.cpp:12:5: warning: <message> [<check>]"
+  std::string format() const;
+};
+
+/// A source file presented to the checks.  `path` decides which checks
+/// apply (it is matched against src/runtime/, src/blas/kernels/, ...), so
+/// fixtures can present content under a virtual path.
+struct FileInput {
+  std::string path;     ///< repo-relative, '/'-separated
+  std::string content;  ///< full file text
+};
+
+/// Names of all registered checks, in reporting order.
+std::vector<std::string> check_names();
+
+/// Runs every applicable check over one file.  Findings on lines carrying a
+/// NOLINT / NOLINT(<check>) comment (or below a NOLINTNEXTLINE) are
+/// suppressed, same contract as clang-tidy.
+std::vector<Finding> run_checks(const FileInput& in);
+
+/// Loads `path` (relative to `root`, which may be ".") and runs the checks
+/// with the relative path as the classification key.  Throws
+/// std::runtime_error when the file cannot be read.
+std::vector<Finding> run_checks_on_file(const std::string& root,
+                                        const std::string& rel_path);
+
+}  // namespace tseig::tidy

@@ -1,0 +1,24 @@
+// Fixture: tseig-no-raw-thread must fire here (solver code spawning its own
+// thread instead of using the pool) and must NOT fire on the suppressed or
+// query-only lines.
+#include <thread>
+#include <future>
+
+void solver_helper();
+
+void bad_spawn() {
+  std::thread t(solver_helper);  // finding: raw std::thread
+  t.join();
+  auto f = std::async(solver_helper);  // finding: raw std::async
+  f.wait();
+}
+
+unsigned query_only() {
+  // Pure hardware query, not a spawn: no finding.
+  return std::thread::hardware_concurrency();
+}
+
+void suppressed_spawn() {
+  std::thread t(solver_helper);  // NOLINT(tseig-no-raw-thread)
+  t.join();
+}

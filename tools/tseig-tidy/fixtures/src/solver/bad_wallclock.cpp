@@ -1,0 +1,24 @@
+// Fixture: tseig-no-wallclock-in-kernels must fire on the wall-clock reads
+// and stay quiet on the steady clock.
+#include <chrono>
+#include <ctime>
+
+double bad_stamp() {
+  auto t = std::chrono::system_clock::now();  // finding: NTP can move this
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_libc_time() {
+  return time(nullptr);  // finding: libc wall clock
+}
+
+double ok_steady() {
+  auto t = std::chrono::steady_clock::now();  // steady: no finding
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double suppressed() {
+  // NOLINTNEXTLINE(tseig-no-wallclock-in-kernels)
+  auto t = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,44 @@
+// Fixture: tseig-task-touch-discipline.  The first lambda calls a tile
+// kernel without declaring its footprint -- finding.  The second declares
+// touches before the call -- clean, even though it reaches submit() through
+// a run() helper exactly like src/twostage/sy2sb.cpp does.
+struct Tile {};
+
+void geqrt(Tile&, Tile&);
+void tsmqr_corner(Tile&, Tile&, Tile&);
+void touch_read(const Tile&);
+void touch_write(Tile&);
+
+template <class F>
+void run(F&& body) {
+  body();
+}
+
+void bad_task(Tile& a, Tile& t) {
+  run([&] {
+    geqrt(a, t);  // finding: no touch_read/touch_write in this lambda
+  });
+}
+
+void good_task(Tile& a, Tile& t) {
+  run([&] {
+    touch_write(a);
+    touch_write(t);
+    geqrt(a, t);
+  });
+}
+
+void good_corner(Tile& a, Tile& b, Tile& c) {
+  run([&] {
+    touch_read(a);
+    touch_write(b);
+    touch_write(c);
+    tsmqr_corner(a, b, c);
+  });
+}
+
+void not_a_lambda(Tile& a, Tile& t) {
+  // Kernel call at function scope (a defining-TU shape): the check only
+  // audits lambda bodies, so no finding here.
+  geqrt(a, t);
+}
