@@ -24,6 +24,7 @@ using namespace tseig;
 
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 1024);
+  bench::BenchRecorder rec("ablation_elimination", argc, argv);
   Matrix a = bench::random_symmetric(n, 91);
 
   std::printf("Stage-2 elimination ablation (n = %lld): column-wise kernels "
@@ -46,6 +47,10 @@ int main(int argc, char** argv) {
         [&] { twostage::sbtrd_rotations(s1.band, d, e); });
     const double gf_rot = static_cast<double>(f2.count()) * 1e-9;
 
+    rec.add("nb" + std::to_string(nb) + "/column_wise", t_col,
+            {{"gflop", gf_col}});
+    rec.add("nb" + std::to_string(nb) + "/element_wise", t_rot,
+            {{"gflop", gf_rot}});
     std::printf("  %-6lld %14.3f %12.2f %14.3f %12.2f %8.2f\n",
                 static_cast<long long>(nb), t_col, gf_col, t_rot, gf_rot,
                 t_rot / t_col);

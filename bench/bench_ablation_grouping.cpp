@@ -21,6 +21,7 @@ using namespace tseig;
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 768);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
+  bench::BenchRecorder rec("ablation_grouping", argc, argv);
 
   Matrix a = bench::random_symmetric(n, 61);
   auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb);
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
       twostage::apply_q2_naive(op::none, s2.v2, e.data(), e.ld(), n);
     });
     const double gf = static_cast<double>(fs.count()) * 1e-9;
+    rec.add("naive", t, {{"gflops", gf / t}});
     std::printf("  %-12s %12.3f %12.2f %12.2f\n", "naive", t, gf, gf / t);
   }
   for (idx ell : {idx{1}, idx{2}, idx{4}, idx{8}, idx{16}, idx{32}}) {
@@ -51,6 +53,7 @@ int main(int argc, char** argv) {
       twostage::apply_q2(op::none, s2.v2, e.data(), e.ld(), n, ell);
     });
     const double gf = static_cast<double>(fs.count()) * 1e-9;
+    rec.add("ell" + std::to_string(ell), t, {{"gflops", gf / t}});
     std::printf("  ell=%-8lld %12.3f %12.2f %12.2f\n",
                 static_cast<long long>(ell), t, gf, gf / t);
   }

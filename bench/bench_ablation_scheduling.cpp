@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
   const int workers =
       static_cast<int>(bench::arg_idx(argc, argv, "--workers", 4));
+  bench::BenchRecorder rec("ablation_scheduling", argc, argv);
 
   Matrix a = bench::random_symmetric(n, 71);
 
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
   for (int w : {1, 2, workers}) {
     const double t = bench::time_seconds(
         [&] { (void)twostage::sy2sb(n, a.data(), a.ld(), nb, w); });
+    rec.add("stage1/w" + std::to_string(w), t);
     std::printf("  workers=%-3d %10.3f s\n", w, t);
   }
 
@@ -58,6 +60,9 @@ int main(int argc, char** argv) {
     twostage::Sb2stResult r;
     const double t = bench::time_seconds([&] { r = twostage::sb2st(s1.band, o); });
     bool identical = r.d == ref.d && r.e == ref.e;
+    rec.add("stage2/w" + std::to_string(c.w) + "s" + std::to_string(c.w2) +
+                "g" + std::to_string(c.g),
+            t);
     std::printf("  workers=%-3d subset=%-3d group=%-3lld %10.3f s   %s\n",
                 c.w, c.w2, static_cast<long long>(c.g), t,
                 identical ? "matches sequential" : "MISMATCH");

@@ -10,8 +10,9 @@
 // Usage: bench_batch_throughput [--workers W] [--nmax N] [--reps R]
 //        [--json /path/out.json] [--trace /path/trace.json]
 //
-// --json writes the full sweep as a JSON array (one record per cell) for
-// plotting; --trace writes a Chrome trace of the largest swept batch.
+// --json writes the full sweep as one "tseig-bench-v2" document (keys
+// "b<batch>xn<n>/w<workers>/{seq,batch}"); --trace writes a Chrome trace of
+// the largest swept batch.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -77,6 +78,7 @@ int main(int argc, char** argv) {
   const int max_workers = bench::arg_workers(argc, argv, 0);
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 256);
   const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
+  bench::BenchRecorder rec("batch_throughput", argc, argv);
 
   std::vector<idx> batch_sizes = {4, 16, 64};
   std::vector<idx> sizes;
@@ -96,6 +98,14 @@ int main(int argc, char** argv) {
       for (idx count : batch_sizes) {
         const Cell cell = run_cell(a, count, workers, reps);
         cells.push_back(cell);
+        const std::string key = "b" + std::to_string(count) + "xn" +
+                                std::to_string(n) + "/w" +
+                                std::to_string(workers);
+        rec.add(key + "/seq", cell.seq_seconds,
+                {{"problems_per_sec", cell.seq_rate()}});
+        rec.add(key + "/batch", cell.batch_seconds,
+                {{"problems_per_sec", cell.batch_rate()},
+                 {"speedup", cell.speedup()}});
         bench::print_row(
             std::to_string(count) + " x " + std::to_string(n),
             {cell.seq_rate(), cell.batch_rate(), cell.speedup()});
@@ -114,32 +124,7 @@ int main(int argc, char** argv) {
                     "sequential loop\n", c.workers, c.speedup());
   }
 
-  if (const char* path = [&]() -> const char* {
-        for (int i = 1; i + 1 < argc; ++i)
-          if (std::string(argv[i]) == "--json") return argv[i + 1];
-        return nullptr;
-      }()) {
-    std::FILE* f = std::fopen(path, "w");
-    if (f == nullptr) {
-      std::printf("cannot write %s\n", path);
-      return 1;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < cells.size(); ++i) {
-      const Cell& c = cells[i];
-      std::fprintf(f,
-                   "  {\"batch\": %lld, \"n\": %lld, \"workers\": %d, "
-                   "\"seq_seconds\": %.6e, \"batch_seconds\": %.6e, "
-                   "\"seq_problems_per_sec\": %.3f, "
-                   "\"batch_problems_per_sec\": %.3f, \"speedup\": %.3f}%s\n",
-                   (long long)c.batch, (long long)c.n, c.workers,
-                   c.seq_seconds, c.batch_seconds, c.seq_rate(),
-                   c.batch_rate(), c.speedup(), i + 1 < cells.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    std::printf("sweep written to %s\n", path);
-  }
+  rec.flush();
 
   if (const char* path = [&]() -> const char* {
         for (int i = 1; i + 1 < argc; ++i)

@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 1024);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
   const int workers = bench::arg_workers(argc, argv);
+  bench::BenchRecorder rec("fig1_breakdown", argc, argv);
 
   std::printf("Figure 1a reproduction: one-stage phase shares "
               "(all eigenvectors, D&C)\n");
@@ -53,7 +54,9 @@ int main(int argc, char** argv) {
     opts.solver = solver::eig_solver::dc;
     opts.nb = nb;
     opts.num_workers = workers;  // parallel D&C solve phase
-    breakdown_row(n, solver::syev(n, a.data(), a.ld(), opts), false);
+    const auto r = solver::syev(n, a.data(), a.ld(), opts);
+    rec.add("one_stage/n" + std::to_string(n), r.phases.total_seconds());
+    breakdown_row(n, r, false);
   }
 
   std::printf("\nFigure 1a (values-only): TRD share of the total\n");
@@ -79,7 +82,9 @@ int main(int argc, char** argv) {
     opts.solver = solver::eig_solver::dc;
     opts.nb = nb;
     opts.num_workers = workers;
-    breakdown_row(n, solver::syev(n, a.data(), a.ld(), opts), true);
+    const auto r = solver::syev(n, a.data(), a.ld(), opts);
+    rec.add("two_stage/n" + std::to_string(n), r.phases.total_seconds());
+    breakdown_row(n, r, true);
   }
   bench::print_pool_stats();
 

@@ -38,21 +38,24 @@ int main(int argc, char** argv) {
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 2048);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
 
+  bench::BenchRecorder rec("fig4_speedup", argc, argv);
+
   struct Panel {
     const char* name;
+    const char* key;
     solver::eig_solver sol;
     solver::jobz job;
     double f;
   };
   const Panel panels[] = {
-      {"Fig 4a: D&C, all eigenvectors", solver::eig_solver::dc,
+      {"Fig 4a: D&C, all eigenvectors", "4a", solver::eig_solver::dc,
        solver::jobz::vectors, 1.0},
-      {"Fig 4b: MRRR~bisect, all eigenvectors", solver::eig_solver::bisect,
-       solver::jobz::vectors, 1.0},
-      {"Fig 4c: reduction to tridiagonal only", solver::eig_solver::dc,
+      {"Fig 4b: MRRR~bisect, all eigenvectors", "4b",
+       solver::eig_solver::bisect, solver::jobz::vectors, 1.0},
+      {"Fig 4c: reduction to tridiagonal only", "4c", solver::eig_solver::dc,
        solver::jobz::values_only, 1.0},
-      {"Fig 4d: 20% of the eigenvectors (bisect)", solver::eig_solver::bisect,
-       solver::jobz::vectors, 0.2},
+      {"Fig 4d: 20% of the eigenvectors (bisect)", "4d",
+       solver::eig_solver::bisect, solver::jobz::vectors, 0.2},
   };
 
   for (const Panel& p : panels) {
@@ -75,6 +78,9 @@ int main(int argc, char** argv) {
         t1 = r1.phases.reduction_seconds;
         t2 = r2.phases.reduction_seconds;
       }
+      const std::string key = std::string(p.key) + "/n" + std::to_string(n);
+      rec.add(key + "/one_stage", t1);
+      rec.add(key + "/two_stage", t2, {{"speedup", t1 / t2}});
       std::printf("  %-8lld %10.3f %10.3f %10.2f\n",
                   static_cast<long long>(n), t1, t2, t1 / t2);
     }

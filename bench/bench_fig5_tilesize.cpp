@@ -19,6 +19,7 @@ using namespace tseig;
 
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 1024);
+  bench::BenchRecorder rec("fig5_tilesize", argc, argv);
   Matrix a = bench::random_symmetric(n, 31);
 
   std::printf("Figure 5 reproduction: stage performance vs tile size nb "
@@ -35,6 +36,9 @@ int main(int argc, char** argv) {
         bench::time_seconds([&] { s1 = twostage::sy2sb(n, a.data(), a.ld(), nb); });
     twostage::Sb2stResult s2;
     const double t2 = bench::time_seconds([&] { s2 = twostage::sb2st(s1.band); });
+    rec.add("nb" + std::to_string(nb) + "/stage1", t1,
+            {{"gflops", s1_flops / t1 * 1e-9}});
+    rec.add("nb" + std::to_string(nb) + "/stage2", t2);
     std::printf("  %-6lld %14.3f %14.2f %14.3f %12.3f\n",
                 static_cast<long long>(nb), t1, s1_flops / t1 * 1e-9, t2,
                 t1 + t2);

@@ -10,8 +10,10 @@
 //
 // Usage: bench_gemm_kernels [--nmax N] [--reps R] [--json /path/out.json]
 //
-// --json writes a "tseig-bench-gemm-v1" document (committed as
-// BENCH_gemm.json at the repo root so the speedup is on record per host).
+// --json writes a "tseig-bench-v2" document (committed as BENCH_gemm.json
+// at the repo root so the speedup is on record per host, and compared
+// against fresh runs by `tseig_prof gate` in scripts/bench_ci.sh).  Result
+// keys are "n<size>/<tier>".
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -41,7 +43,7 @@ struct Cell {
 int main(int argc, char** argv) {
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 1024);
   const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
-  const std::string json = bench::arg_string(argc, argv, "--json");
+  bench::BenchRecorder rec("gemm_kernels", argc, argv);
 
   std::vector<idx> sizes;
   for (idx n : {static_cast<idx>(128), static_cast<idx>(256),
@@ -81,6 +83,8 @@ int main(int argc, char** argv) {
       });
       cells.push_back({tier->name, n, s});
       row.push_back(cells.back().gflops());
+      rec.add("n" + std::to_string(n) + "/" + tier->name, s,
+              {{"gflops", cells.back().gflops()}});
     }
     bench::print_row(tier->name, row);
   }
@@ -106,32 +110,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
 
-  if (!json.empty()) {
-    std::FILE* f = std::fopen(json.c_str(), "w");
-    if (f == nullptr) {
-      std::printf("cannot write %s\n", json.c_str());
-      return 1;
-    }
-    std::fprintf(f, "{\n  \"schema\": \"tseig-bench-gemm-v1\",\n");
-    std::fprintf(f, "  \"dispatch\": \"%s\",\n", kern::active_kernel_name());
-    std::fprintf(f, "  \"tiers\": [");
-    for (size_t i = 0; i < tiers.size(); ++i)
-      std::fprintf(f, "%s\"%s\"", i > 0 ? ", " : "", tiers[i]->name);
-    std::fprintf(f, "],\n  \"reps\": %d,\n  \"results\": [\n", reps);
-    for (size_t i = 0; i < cells.size(); ++i) {
-      const Cell& cell = cells[i];
-      const Cell* base = find_cell("scalar", cell.n);
-      std::fprintf(f,
-                   "    {\"kernel\": \"%s\", \"n\": %lld, \"seconds\": "
-                   "%.6e, \"gflops\": %.3f, \"speedup_vs_scalar\": %.3f}%s\n",
-                   cell.kernel, (long long)cell.n, cell.seconds,
-                   cell.gflops(),
-                   base != nullptr ? base->seconds / cell.seconds : 1.0,
-                   i + 1 < cells.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("sweep written to %s\n", json.c_str());
-  }
+  if (rec.enabled()) rec.flush();
   return 0;
 }

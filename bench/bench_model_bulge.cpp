@@ -21,6 +21,7 @@ using namespace tseig;
 
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 1024);
+  bench::BenchRecorder rec("model_bulge", argc, argv);
   Matrix a = bench::random_symmetric(n, 51);
 
   const std::vector<idx> nbs = {16, 24, 32, 48, 64, 96, 128, 192};
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
     if (nb >= n) break;
     auto s1 = twostage::sy2sb(n, a.data(), a.ld(), nb);
     const double t2 = bench::time_seconds([&] { (void)twostage::sb2st(s1.band); });
+    rec.add("nb" + std::to_string(nb), t2);
     meas.push_back(t2);
   }
 

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   const idx nmax = bench::arg_idx(argc, argv, "--nmax", 2048);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
   const double f = bench::arg_double(argc, argv, "--f", 1.0);
+  bench::BenchRecorder rec("model_crossover", argc, argv);
   const double p = 1.0;  // single-core container; workers share the core
 
   const double alpha = bench::measure_alpha(std::min<idx>(nmax, 768), 3);
@@ -84,6 +85,10 @@ int main(int argc, char** argv) {
     // The model covers reduction + update (phase 2 is identical in both).
     const double t1 = r1.phases.reduction_seconds + r1.phases.update_seconds;
     const double t2 = r2.phases.reduction_seconds + r2.phases.update_seconds;
+    rec.add("n" + std::to_string(n) + "/one_stage", t1,
+            {{"model_seconds", t1_model}});
+    rec.add("n" + std::to_string(n) + "/two_stage", t2,
+            {{"model_seconds", t2_model}, {"impl_model_seconds", t2_impl}});
     std::printf("  %-8lld %10.3f %10.3f %10.3f %10.3f %10.3f %8.2f %8.2f\n",
                 static_cast<long long>(n), t1_model, t1, t2_model, t2_impl,
                 t2, t1_model / t2_model, t1 / t2);

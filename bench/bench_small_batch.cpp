@@ -16,8 +16,8 @@
 // Usage: bench_small_batch [--problems P] [--reps R] [--workers W]
 //                          [--json /path/out.json]
 //
-// --json writes a "tseig-bench-small-batch-v1" document (uploaded next to
-// BENCH_gemm.json by the nightly workflow).
+// --json writes a "tseig-bench-v2" document (keys "n<size>/{lane,
+// pipeline}"; uploaded next to BENCH_gemm.json by the nightly workflow).
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   const idx problems = bench::arg_idx(argc, argv, "--problems", 100000);
   const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
   const int workers = bench::arg_workers(argc, argv, 0);
-  const std::string json = bench::arg_string(argc, argv, "--json");
+  bench::BenchRecorder rec("small_batch", argc, argv);
   bench::init_telemetry(argc, argv);
 
   const std::vector<idx> sizes = {1, 2, 3};
@@ -89,6 +89,8 @@ int main(int argc, char** argv) {
           reps, [&] { (void)solver::syev_batch(batch, bopts); });
       cells.push_back({n, lane, s});
       row.push_back(cells.back().mproblems_per_s(problems));
+      rec.add("n" + std::to_string(n) + (lane ? "/lane" : "/pipeline"), s,
+              {{"mproblems_per_s", cells.back().mproblems_per_s(problems)}});
     }
     row.push_back(row[0] / row[1]);  // lane speedup over pipeline
     bench::print_row("n=" + std::to_string(n), row);
@@ -108,29 +110,6 @@ int main(int argc, char** argv) {
               "pipeline (gate: >= 5x)\n",
               (long long)problems, headline);
 
-  if (!json.empty()) {
-    std::FILE* f = std::fopen(json.c_str(), "w");
-    if (f == nullptr) {
-      std::printf("cannot write %s\n", json.c_str());
-      return 1;
-    }
-    std::fprintf(f, "{\n  \"schema\": \"tseig-bench-small-batch-v1\",\n");
-    std::fprintf(f, "  \"problems\": %lld,\n", (long long)problems);
-    std::fprintf(f, "  \"reps\": %d,\n", reps);
-    std::fprintf(f, "  \"headline_speedup_n3\": %.3f,\n", headline);
-    std::fprintf(f, "  \"results\": [\n");
-    for (size_t i = 0; i < cells.size(); ++i) {
-      const Cell& c = cells[i];
-      std::fprintf(f,
-                   "    {\"n\": %lld, \"path\": \"%s\", \"seconds\": %.6e, "
-                   "\"mproblems_per_s\": %.3f}%s\n",
-                   (long long)c.n, c.lane ? "lane" : "pipeline", c.seconds,
-                   c.mproblems_per_s(problems),
-                   i + 1 < cells.size() ? "," : "");
-    }
-    std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("wrote %s\n", json.c_str());
-  }
+  rec.flush();
   return 0;
 }

@@ -23,6 +23,17 @@ using namespace tseig;
 
 namespace {
 
+tseig::bench::BenchRecorder* g_rec = nullptr;
+
+void record_method(const char* key, const solver::SyevResult& r) {
+  if (g_rec != nullptr)
+    g_rec->add(key, r.phases.total_seconds(),
+               {{"reduction_flops",
+                 static_cast<double>(r.phases.reduction_flops)},
+                {"solve_flops", static_cast<double>(r.phases.solve_flops)},
+                {"update_flops", static_cast<double>(r.phases.update_flops)}});
+}
+
 void report(const char* name, const solver::SyevResult& r, idx n) {
   const double n3 = static_cast<double>(n) * n * n;
   std::printf("%-22s %10.3f %10.3f %10.3f %10.3f\n", name,
@@ -37,6 +48,8 @@ void report(const char* name, const solver::SyevResult& r, idx n) {
 int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 512);
   const idx nb = bench::arg_idx(argc, argv, "--nb", 48);
+  bench::BenchRecorder rec("table1_complexity", argc, argv);
+  g_rec = &rec;
   Matrix a = bench::random_symmetric(n, 1);
 
   std::printf("Table 1 reproduction: phase flops / n^3 at n = %lld "
@@ -52,15 +65,24 @@ int main(int argc, char** argv) {
   // --- one-stage rows (the table's rows). ---
   opts.algo = solver::method::one_stage;
   opts.solver = solver::eig_solver::dc;
-  report("EVD  (1-stage, D&C)", solver::syev(n, a.data(), a.ld(), opts), n);
+  {
+    auto r = solver::syev(n, a.data(), a.ld(), opts);
+    record_method("evd_1stage_dc", r);
+    report("EVD  (1-stage, D&C)", r, n);
+  }
 
   opts.solver = solver::eig_solver::bisect;
-  report("EVR  (1-stage, bis.)", solver::syev(n, a.data(), a.ld(), opts), n);
+  {
+    auto r = solver::syev(n, a.data(), a.ld(), opts);
+    record_method("evr_1stage_bisect", r);
+    report("EVR  (1-stage, bis.)", r, n);
+  }
 
   opts.solver = solver::eig_solver::qr;
   {
     // For QR the driver builds Q explicitly (Gen Q) inside the update slot.
     auto r = solver::syev(n, a.data(), a.ld(), opts);
+    record_method("ev_1stage_qr", r);
     const double n3 = static_cast<double>(n) * n * n;
     std::printf("%-22s %10.3f %10.3f %10.3f %10.3f\n", "EV   (1-stage, QR)",
                 static_cast<double>(r.phases.reduction_flops) / n3,
@@ -71,11 +93,19 @@ int main(int argc, char** argv) {
   // --- two-stage rows (Section 4's accounting). ---
   opts.algo = solver::method::two_stage;
   opts.solver = solver::eig_solver::dc;
-  report("EVD  (2-stage, D&C)", solver::syev(n, a.data(), a.ld(), opts), n);
+  {
+    auto r = solver::syev(n, a.data(), a.ld(), opts);
+    record_method("evd_2stage_dc", r);
+    report("EVD  (2-stage, D&C)", r, n);
+  }
 
   opts.solver = solver::eig_solver::bisect;
   opts.fraction = 0.2;
-  report("EVR  (2-stage, f=.2)", solver::syev(n, a.data(), a.ld(), opts), n);
+  {
+    auto r = solver::syev(n, a.data(), a.ld(), opts);
+    record_method("evr_2stage_f02", r);
+    report("EVR  (2-stage, f=.2)", r, n);
+  }
 
   std::printf("\npaper coefficients: TRD = 4/3 = 1.333 (+6 nb/n for stage 2);"
               "\n  update Z doubles from one-stage to two-stage (Section 4);"

@@ -36,6 +36,9 @@ int main(int argc, char** argv) {
   const Mix mixes[] = {{"TRD (4x SYMV)", 4, 0},
                        {"BRD (4x GEMV)", 0, 4},
                        {"HRD (10x GEMV)", 0, 10}};
+  const char* keys[] = {"trd_4symv", "brd_4gemv", "hrd_10gemv"};
+  bench::BenchRecorder rec("table2_opmix", argc, argv);
+  int mix_index = 0;
 
   std::printf("Table 2 reproduction: operation-mix rates at n = %lld\n",
               static_cast<long long>(n));
@@ -54,6 +57,9 @@ int main(int argc, char** argv) {
         blas::gemv(op::none, n, n, 1.0, a.data(), a.ld(), x.data(), 1, 0.0,
                    y.data(), 1);
     });
+    rec.add(keys[mix_index++], secs,
+            {{"raw_gflops", raw_flops / secs * 1e-9},
+             {"effective_gflops", useful_flops / secs * 1e-9}});
     bench::print_row(m.name,
                      {raw_flops / secs * 1e-9, useful_flops / secs * 1e-9});
   }

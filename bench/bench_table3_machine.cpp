@@ -23,11 +23,17 @@ int main(int argc, char** argv) {
   const idx n = bench::arg_idx(argc, argv, "--n", 1024);
   const int reps = static_cast<int>(bench::arg_idx(argc, argv, "--reps", 3));
 
+  bench::BenchRecorder rec("table3_machine", argc, argv);
   const double alpha = bench::measure_alpha(n, reps);
   const idx nbig = std::min<idx>(n * 4, 4096);
   const double beta = bench::measure_beta(nbig, reps);
   const double beta_symv = bench::measure_beta_symv(nbig, reps);
   const unsigned p = std::thread::hardware_concurrency();
+  // Rates inverted into seconds-per-gigaflop so "bigger = slower" holds for
+  // the diff gate like every other bench key.
+  rec.add("alpha_gemm", 1e9 / alpha, {{"gflops", alpha * 1e-9}});
+  rec.add("beta_gemv", 1e9 / beta, {{"gflops", beta * 1e-9}});
+  rec.add("beta_symv", 1e9 / beta_symv, {{"gflops", beta_symv * 1e-9}});
 
   std::printf("Table 3 reproduction: model parameters on this host "
               "(n = %lld)\n",

@@ -6,7 +6,11 @@
 // DAG critical path for the dynamic vs pinned-subset schedules.
 //
 // Usage: bench_trace_schedule [--n N] [--nb NB] [--workers W]
-//                             [--lookahead D]
+//                             [--lookahead D] [--json /path/out.json]
+//
+// --json writes the per-configuration wall times as one "tseig-bench-v2"
+// document (keys "stage1/la<D>", "stage2/{dynamic,pinned2}", "stedc") --
+// the pipeline baseline scripts/bench_ci.sh gates (BENCH_pipeline.json).
 //
 // Stage 1 is recorded twice -- bulk-synchronous (depth 0) and with the
 // requested look-ahead -- so the traces show where the panel pipeline
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
       static_cast<int>(bench::arg_idx(argc, argv, "--workers", 4));
   const int lookahead =
       static_cast<int>(bench::arg_idx(argc, argv, "--lookahead", 1));
+  bench::BenchRecorder rec("trace_schedule", argc, argv);
   bench::init_telemetry(argc, argv);
 
   Matrix a = bench::random_symmetric(n, 81);
@@ -98,12 +103,16 @@ int main(int argc, char** argv) {
   // look-ahead the next panel's GEQRT/TSQRT chain fills those lanes.  Same
   // kernel sequence both times (bitwise-identical band), different overlap.
   for (const int depth : {0, lookahead}) {
+    double wall = 0.0;
     const obs::Snapshot snap = record([&] {
-      twostage::Sy2sbOptions o;
-      o.num_workers = workers;
-      o.lookahead = depth;
-      (void)twostage::sy2sb(n, a.data(), a.ld(), nb, o);
+      wall = bench::time_seconds([&] {
+        twostage::Sy2sbOptions o;
+        o.num_workers = workers;
+        o.lookahead = depth;
+        (void)twostage::sy2sb(n, a.data(), a.ld(), nb, o);
+      });
     });
+    rec.add("stage1/la" + std::to_string(depth), wall);
     std::printf("\nstage 1, lookahead %d:\n", depth);
     print_utilization(snap);
     char out[64];
@@ -115,21 +124,28 @@ int main(int argc, char** argv) {
 
   struct Cfg {
     const char* name;
+    const char* key;
     int subset;
     const char* out;
   };
   const Cfg cfgs[] = {
-      {"dynamic (all workers)", 0, "/tmp/trace_stage2_dynamic.json"},
-      {"pinned subset (2)", 2, "/tmp/trace_stage2_pinned.json"},
+      {"dynamic (all workers)", "stage2/dynamic", 0,
+       "/tmp/trace_stage2_dynamic.json"},
+      {"pinned subset (2)", "stage2/pinned2", 2,
+       "/tmp/trace_stage2_pinned.json"},
   };
   for (const Cfg& c : cfgs) {
+    double wall = 0.0;
     const obs::Snapshot snap = record([&] {
-      twostage::Sb2stOptions o;
-      o.num_workers = workers;
-      o.stage2_workers = c.subset;
-      o.group = 4;
-      (void)twostage::sb2st(s1.band, o);
+      wall = bench::time_seconds([&] {
+        twostage::Sb2stOptions o;
+        o.num_workers = workers;
+        o.stage2_workers = c.subset;
+        o.group = 4;
+        (void)twostage::sb2st(s1.band, o);
+      });
     });
+    rec.add(c.key, wall);
     std::printf("\n%s:\n", c.name);
     print_utilization(snap);
     obs::write_chrome_trace_file(snap, c.out);
@@ -144,11 +160,15 @@ int main(int argc, char** argv) {
     rng.fill_uniform(d.data(), n);
     if (n > 1) rng.fill_uniform(e.data(), n - 1);
     Matrix z(n, n);
+    double wall = 0.0;
     const obs::Snapshot snap = record([&] {
-      tridiag::StedcOptions o;
-      o.num_workers = workers;
-      tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), o);
+      wall = bench::time_seconds([&] {
+        tridiag::StedcOptions o;
+        o.num_workers = workers;
+        tridiag::stedc(n, d.data(), e.data(), z.data(), z.ld(), o);
+      });
     });
+    rec.add("stedc", wall);
     std::printf("\nD&C merge tree:\n");
     print_utilization(snap);
     obs::write_chrome_trace_file(snap, "/tmp/trace_stedc.json");

@@ -1,12 +1,21 @@
 #include "bench_support.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
+#include "blas/kernels/registry.hpp"
+#include "obs/json.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
+
+#ifndef TSEIG_GIT_DESCRIBE
+#define TSEIG_GIT_DESCRIBE "unknown"
+#endif
 
 namespace tseig::bench {
 
@@ -122,6 +131,59 @@ double measure_beta(idx n, int reps) {
                y.data(), 1);
   });
   return 2.0 * static_cast<double>(n) * n / secs;
+}
+
+BenchRecorder::BenchRecorder(const std::string& bench, int argc, char** argv)
+    : bench_(bench),
+      path_(arg_string(argc, argv, "--json")),
+      workers_(arg_workers(argc, argv, 0)) {}
+
+BenchRecorder::~BenchRecorder() { flush(); }
+
+void BenchRecorder::add(
+    const std::string& name, double seconds,
+    const std::vector<std::pair<std::string, double>>& extra) {
+  results_.push_back({name, seconds, extra});
+}
+
+void BenchRecorder::flush() {
+  if (flushed_ || path_.empty()) return;
+  flushed_ = true;
+  std::ostringstream out;
+  auto num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return std::string(std::isfinite(v) ? buf : "0");
+  };
+  out << "{\"schema\":\"tseig-bench-v2\",\"bench\":"
+      << obs::json_string(bench_)
+      << ",\"git\":" << obs::json_string(TSEIG_GIT_DESCRIBE)
+      << ",\"kernel\":"
+      << obs::json_string(blas::kernels::active_kernel_name())
+      << ",\"workers\":" << workers_ << ",\"results\":[";
+  bool first = true;
+  for (const Result& r : results_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << obs::json_string(r.name)
+        << ",\"seconds\":" << num(r.seconds);
+    if (!r.extra.empty()) {
+      out << ",\"extra\":{";
+      bool efirst = true;
+      for (const auto& [k, v] : r.extra) {
+        if (!efirst) out << ",";
+        efirst = false;
+        out << obs::json_string(k) << ":" << num(v);
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "]}";
+  std::ofstream f(path_);
+  if (f) f << out.str();
+  if (!f)
+    std::fprintf(stderr, "bench: cannot write --json %s\n", path_.c_str());
 }
 
 double measure_beta_symv(idx n, int reps) {

@@ -1,8 +1,11 @@
 // Shared helpers for the benchmark harnesses that regenerate the paper's
-// tables and figures: matrix builders, timing wrappers and table printing.
+// tables and figures: matrix builders, timing wrappers, table printing, and
+// the unified "tseig-bench-v2" JSON emitter every bench shares (the format
+// `tseig_prof diff`/`gate` and scripts/bench_ci.sh compare).
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.hpp"
@@ -86,5 +89,46 @@ double measure_beta(idx n, int reps);
 /// actually binds this library's one-stage TRD (its blocked SYMV reads only
 /// the stored triangle, so it beats plain GEMV; see Table 2).
 double measure_beta_symv(idx n, int reps);
+
+/// Collects named timings and, when the bench was invoked with
+/// "--json PATH", writes them as one "tseig-bench-v2" document:
+///
+///   {"schema":"tseig-bench-v2","bench":"gemm_kernels","git":...,
+///    "kernel":...,"workers":N,
+///    "results":[{"name":"n512/avx2","seconds":0.0123,
+///                "extra":{"gflops":41.2}},...]}
+///
+/// Result names are the comparison keys for `tseig_prof diff`/`gate`, so
+/// they must be stable across runs (encode the parameters, not the values).
+/// Without --json the recorder is inert; every bench constructs one
+/// unconditionally.  The destructor flushes, so plain `return 0` works.
+class BenchRecorder {
+ public:
+  BenchRecorder(const std::string& bench, int argc, char** argv);
+  ~BenchRecorder();
+
+  /// Records one named timing, with optional numeric metadata columns
+  /// (rates, sizes) that are exported but never gated on.
+  void add(const std::string& name, double seconds,
+           const std::vector<std::pair<std::string, double>>& extra = {});
+
+  /// Writes the JSON file if --json was given; idempotent, called by the
+  /// destructor.  Throws nothing (reports I/O failure on stderr).
+  void flush();
+
+  bool enabled() const { return !path_.empty(); }
+
+ private:
+  struct Result {
+    std::string name;
+    double seconds = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
+  };
+  std::string bench_;
+  std::string path_;
+  int workers_ = 0;
+  std::vector<Result> results_;
+  bool flushed_ = false;
+};
 
 }  // namespace tseig::bench

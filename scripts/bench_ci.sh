@@ -1,0 +1,82 @@
+#!/bin/sh
+# Pinned bench suite + regression gate for the performance sentinel.
+#
+# Runs a fixed set of benches (gemm kernel tiers, batch throughput, the
+# small-batch closed-form lane, and the trace-schedule pipeline with
+# look-ahead on/off) with pinned sizes and worker counts, writing one
+# tseig-bench-v2 JSON per bench into OUT-DIR.  Each fresh run is then gated
+# with `tseig_prof gate` against the committed BENCH_<name>.json baseline at
+# the repo root, when one exists; benches without a committed baseline still
+# run (their JSON is kept as a CI artifact / baseline candidate) but are not
+# gated.
+#
+# The tolerance is deliberately generous: absolute seconds differ across
+# hosts, and the gate is meant to catch step-function regressions (a kernel
+# falling off its tier, a scheduler serialization), not single-digit noise.
+#
+# Usage: scripts/bench_ci.sh [build-dir] [out-dir]
+#   (defaults: build, bench-out)
+#
+# Environment:
+#   TSEIG_BENCH_TOLERANCE   allowed slowdown in percent (default 30)
+#   TSEIG_BENCH_UPDATE=1    refresh the committed baselines from this run
+#                           instead of gating (review + commit the diff)
+set -e
+cd "$(dirname "$0")/.."
+BUILD=${1:-build}
+OUT=${2:-bench-out}
+TOL=${TSEIG_BENCH_TOLERANCE:-30}
+
+if [ ! -d "$BUILD" ]; then
+  cmake -B "$BUILD" -S . -DTSEIG_NATIVE=OFF
+fi
+cmake --build "$BUILD" -j \
+  --target bench_gemm_kernels bench_batch_throughput bench_small_batch \
+           bench_trace_schedule tseig_prof
+
+mkdir -p "$OUT"
+
+# The pinned suite.  Sizes are small enough for CI minutes; sizes and worker
+# counts are fixed so the result keys line up with the committed baselines
+# run over run (batch keys embed the worker count).
+echo "==> gemm kernel tiers"
+"$BUILD/bench/bench_gemm_kernels" --nmax 512 --reps 3 \
+  --json "$OUT/BENCH_gemm.json"
+echo "==> trace-schedule pipeline (look-ahead 0/1, stage-2, stedc)"
+"$BUILD/bench/bench_trace_schedule" --n 384 \
+  --json "$OUT/BENCH_pipeline.json"
+echo "==> batch throughput"
+"$BUILD/bench/bench_batch_throughput" --nmax 128 --reps 1 --workers 2 \
+  --json "$OUT/BENCH_batch.json"
+echo "==> small-batch closed-form lane"
+"$BUILD/bench/bench_small_batch" --problems 100000 --reps 3 \
+  --json "$OUT/BENCH_small_batch.json"
+
+if [ "${TSEIG_BENCH_UPDATE:-0}" = "1" ]; then
+  cp "$OUT/BENCH_gemm.json" BENCH_gemm.json
+  cp "$OUT/BENCH_pipeline.json" BENCH_pipeline.json
+  echo "bench_ci: baselines refreshed; review and commit BENCH_*.json"
+  exit 0
+fi
+
+status=0
+gate() {
+  if [ -f "BENCH_$1.json" ]; then
+    echo "==> gate: $1 (tolerance ${TOL}%)"
+    "$BUILD/tools/tseig_prof" gate --tolerance "$TOL" \
+      "BENCH_$1.json" "$OUT/BENCH_$1.json" || status=1
+  else
+    echo "==> gate: $1 skipped (no committed BENCH_$1.json baseline)"
+  fi
+}
+
+gate gemm
+gate pipeline
+gate batch
+gate small_batch
+
+if [ "$status" -ne 0 ]; then
+  echo "bench_ci: REGRESSION beyond ${TOL}% against committed baselines" >&2
+  exit 1
+fi
+echo "bench_ci: all gates passed (tolerance ${TOL}%)"

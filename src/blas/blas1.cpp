@@ -8,6 +8,7 @@ namespace tseig::blas {
 
 double dot(idx n, const double* x, idx incx, const double* y, idx incy) {
   count_flops(2 * n);
+  count_bytes(byte_count::kElem * 2 * n);
   double acc = 0.0;
   if (incx == 1 && incy == 1) {
     for (idx i = 0; i < n; ++i) acc += x[i] * y[i];
@@ -50,6 +51,7 @@ double asum(idx n, const double* x, idx incx) {
 void axpy(idx n, double alpha, const double* x, idx incx, double* y, idx incy) {
   if (alpha == 0.0) return;
   count_flops(2 * n);
+  count_bytes(byte_count::kElem * 3 * n);
   if (incx == 1 && incy == 1) {
     for (idx i = 0; i < n; ++i) y[i] += alpha * x[i];
   } else {
@@ -59,6 +61,7 @@ void axpy(idx n, double alpha, const double* x, idx incx, double* y, idx incy) {
 
 void scal(idx n, double alpha, double* x, idx incx) {
   count_flops(n);
+  count_bytes(byte_count::kElem * 2 * n);
   if (incx == 1) {
     for (idx i = 0; i < n; ++i) x[i] *= alpha;
   } else {
@@ -67,6 +70,7 @@ void scal(idx n, double alpha, double* x, idx incx) {
 }
 
 void copy(idx n, const double* x, idx incx, double* y, idx incy) {
+  count_bytes(byte_count::kElem * 2 * n);
   if (incx == 1 && incy == 1) {
     for (idx i = 0; i < n; ++i) y[i] = x[i];
   } else {
@@ -98,6 +102,7 @@ idx iamax(idx n, const double* x, idx incx) {
 
 void rot(idx n, double* x, idx incx, double* y, idx incy, double c, double s) {
   count_flops(6 * n);
+  count_bytes(byte_count::kElem * 4 * n);
   for (idx i = 0; i < n; ++i) {
     const double xi = x[i * incx];
     const double yi = y[i * incy];

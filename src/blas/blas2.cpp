@@ -12,6 +12,7 @@ void gemv(op trans, idx m, idx n, double alpha, const double* a, idx lda,
   }
   if (alpha == 0.0 || m == 0 || n == 0) return;
   count_flops(flop_count::gemv(m, n));
+  count_bytes(byte_count::gemv(m, n));
   if (trans == op::none) {
     if (incy == 1) {
       // y += alpha * A x, four columns per pass over y: one y traffic per
@@ -91,6 +92,7 @@ void symv(uplo ul, idx n, double alpha, const double* a, idx lda,
   }
   if (alpha == 0.0 || n == 0) return;
   count_flops(flop_count::symv(n));
+  count_bytes(byte_count::symv(n));
   if (ul == uplo::lower) {
     // One pass per column: the strictly-lower part of column j contributes to
     // y below j (as A) and to y[j] (as A^T), touching each stored element
@@ -172,6 +174,7 @@ void ger(idx m, idx n, double alpha, const double* x, idx incx,
          const double* y, idx incy, double* a, idx lda) {
   if (alpha == 0.0) return;
   count_flops(flop_count::ger(m, n));
+  count_bytes(byte_count::ger(m, n));
   for (idx j = 0; j < n; ++j) {
     const double t = alpha * y[j * incy];
     if (t == 0.0) continue;
@@ -188,6 +191,7 @@ void syr2(uplo ul, idx n, double alpha, const double* x, idx incx,
           const double* y, idx incy, double* a, idx lda) {
   if (alpha == 0.0) return;
   count_flops(flop_count::syr2(n));
+  count_bytes(byte_count::syr2(n));
   if (ul == uplo::lower) {
     for (idx j = 0; j < n; ++j) {
       const double tx = alpha * x[j * incx];
@@ -213,6 +217,7 @@ void syr(uplo ul, idx n, double alpha, const double* x, idx incx, double* a,
          idx lda) {
   if (alpha == 0.0) return;
   count_flops(n * n);
+  count_bytes(byte_count::kElem * (n * (n + 1) + n));
   if (ul == uplo::lower) {
     for (idx j = 0; j < n; ++j) {
       const double t = alpha * x[j * incx];
@@ -231,6 +236,7 @@ void syr(uplo ul, idx n, double alpha, const double* x, idx incx, double* a,
 void trmv(uplo ul, op trans, diag d, idx n, const double* a, idx lda,
           double* x, idx incx) {
   count_flops(n * n);
+  count_bytes(byte_count::kElem * (n * (n + 1) / 2 + 2 * n));
   const bool unit = d == diag::unit;
   if (trans == op::none) {
     if (ul == uplo::upper) {
@@ -267,6 +273,7 @@ void trmv(uplo ul, op trans, diag d, idx n, const double* a, idx lda,
 void trsv(uplo ul, op trans, diag d, idx n, const double* a, idx lda,
           double* x, idx incx) {
   count_flops(n * n);
+  count_bytes(byte_count::kElem * (n * (n + 1) / 2 + 2 * n));
   const bool unit = d == diag::unit;
   if (trans == op::none) {
     if (ul == uplo::lower) {

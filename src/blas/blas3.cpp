@@ -132,6 +132,10 @@ void gemm_blocked(idx m, idx n, idx k, double alpha, PA&& packa, PB&& packb,
     for (idx pc = 0; pc < k; pc += kKC) {
       const idx kc = std::min(kKC, k - pc);
       packb(pc, jc, kc, nc, bbuf);
+      // Packers report the traffic they generate (source read + packed
+      // write) on top of the entry points' nominal operand formulas -- the
+      // blocked path's real extra bandwidth cost, visible in the roofline.
+      count_bytes(byte_count::copy(kc, nc));
       const idx nic = (m + kMC - 1) / kMC;
       parallel_for(kernel_workers(), 0, nic, 1, [&](idx bi) {
         const idx ic = bi * kMC;
@@ -139,6 +143,7 @@ void gemm_blocked(idx m, idx n, idx k, double alpha, PA&& packa, PB&& packb,
         double* abuf = pack_store_a().get(
             ((mc + mr_tile - 1) / mr_tile) * mr_tile * kc);
         packa(ic, pc, mc, kc, abuf);
+        count_bytes(byte_count::copy(mc, kc));
         for (idx j0 = 0; j0 < nc; j0 += nr_tile) {
           const idx nr = std::min(nr_tile, nc - j0);
           const double* bp = bbuf + (j0 / nr_tile) * (kc * nr_tile);
@@ -224,6 +229,7 @@ void gemm(op transa, op transb, idx m, idx n, idx k, double alpha,
   scale_c(m, n, beta, c, ldc);
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0) return;
   count_flops(flop_count::gemm(m, n, k));
+  count_bytes(byte_count::gemm(m, n, k));
   // Small problems: skip packing entirely (gemm_core's small path).
   if (m * n * k <= kSmallThreshold) {
     auto ea = [=](idx i, idx p) {
@@ -269,6 +275,10 @@ void symm(side sd, uplo ul, idx m, idx n, double alpha, const double* a,
     return swap_ij ? a[j + i * lda] : a[i + j * lda];
   };
   count_flops(2 * m * n * (sd == side::left ? m : n));
+  {
+    const idx t = sd == side::left ? m : n;
+    count_bytes(byte_count::kElem * (t * (t + 1) / 2 + 3 * m * n));
+  }
   if (sd == side::left) {
     gemm_core(m, n, m, alpha, sym,
               [=](idx p, idx j) { return b[p + j * ldb]; }, c, ldc);
@@ -282,6 +292,7 @@ void syrk(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
           idx lda, double beta, double* c, idx ldc) {
   if (n == 0) return;
   count_flops(flop_count::syrk(n, k));
+  count_bytes(byte_count::syrk(n, k));
   auto ea = [=](idx i, idx p) {
     return trans == op::none ? a[i + p * lda] : a[p + i * lda];
   };
@@ -321,6 +332,7 @@ void syr2k(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
            idx ldc) {
   if (n == 0) return;
   count_flops(flop_count::syr2k(n, k));
+  count_bytes(byte_count::syr2k(n, k));
   auto ea = [=](idx i, idx p) {
     return trans == op::none ? a[i + p * lda] : a[p + i * lda];
   };
@@ -366,6 +378,7 @@ void syr2k(uplo ul, op trans, idx n, idx k, double alpha, const double* a,
 void trmm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
           const double* a, idx lda, double* b, idx ldb) {
   count_flops(flop_count::trmm(sd, m, n));
+  count_bytes(byte_count::trmm(sd, m, n));
   const bool unit = d == diag::unit;
   // Fast path for block-sized triangles: route through the packed GEMM core
   // with a triangle-aware accessor.  This doubles the nominal flops (the
@@ -477,6 +490,7 @@ void trmm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
 void trsm(side sd, uplo ul, op trans, diag d, idx m, idx n, double alpha,
           const double* a, idx lda, double* b, idx ldb) {
   count_flops(flop_count::trmm(sd, m, n));
+  count_bytes(byte_count::trmm(sd, m, n));
   const bool unit = d == diag::unit;
   if (alpha != 1.0) scale_c(m, n, alpha, b, ldb);
   if (sd == side::left) {

@@ -62,7 +62,7 @@ void micro(idx kc, double alpha, const double* ap, const double* bp, double* c,
 const Kernel* kernel_avx512() {
   static const Kernel k{"avx512",       MR,           NR,           micro,
                         pack_a_notrans, pack_a_trans, pack_b_notrans,
-                        pack_b_trans};
+                        pack_b_trans,   16.0};
   return &k;
 }
 

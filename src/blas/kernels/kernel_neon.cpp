@@ -61,7 +61,7 @@ void micro(idx kc, double alpha, const double* ap, const double* bp, double* c,
 const Kernel* kernel_neon() {
   static const Kernel k{"neon",         MR,           NR,           micro,
                         pack_a_notrans, pack_a_trans, pack_b_notrans,
-                        pack_b_trans};
+                        pack_b_trans,   4.0};
   return &k;
 }
 

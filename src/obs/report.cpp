@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "blas/kernels/registry.hpp"
+#include "obs/hwc.hpp"
 
 namespace tseig::obs {
 namespace {
@@ -74,7 +75,13 @@ Report analyze(const Snapshot& snap) {
   rep.kernel = blas::kernels::active_kernel_name();
   rep.span_count = static_cast<idx>(snap.spans.size());
   rep.dropped_spans = snap.dropped_spans;
+  rep.dropped_counters = snap.dropped_counters;
+  rep.dropped_graphs = snap.dropped_graphs;
   rep.workers = snap.workers;
+  rep.hwc_backend = snap.hwc_backend;
+  rep.flops_per_cycle_peak = blas::kernels::active_kernel().flops_per_cycle;
+  for (const HistogramSnapshot& h : snap.histograms)
+    if (h.samples > 0) rep.histograms.push_back(h);
 
   if (!snap.spans.empty()) {
     double lo = snap.spans.front().start_seconds;
@@ -187,6 +194,30 @@ Report analyze(const Snapshot& snap) {
         static_cast<double>(workers) * a.phase_seconds;
     pr.parallel_efficiency =
         phase_capacity > 0.0 ? pr.work_seconds / phase_capacity : 0.0;
+    // Roofline attribution from the per-phase cost table.  Derived ratios
+    // stay 0 when the denominator is missing (no bytes reported, hwc off).
+    const PhaseCost& cost = snap.phase_costs[static_cast<size_t>(p)];
+    pr.flops = cost.flops;
+    pr.bytes = cost.bytes;
+    pr.cycles = cost.cycles;
+    pr.instructions = cost.instructions;
+    pr.llc_misses = cost.llc_misses;
+    pr.stalled_cycles = cost.stalled_cycles;
+    pr.hwc_valid = cost.hwc_valid;
+    if (pr.seconds > 0.0)
+      pr.gflops = static_cast<double>(pr.flops) / pr.seconds * 1e-9;
+    if (pr.bytes > 0)
+      pr.arithmetic_intensity =
+          static_cast<double>(pr.flops) / static_cast<double>(pr.bytes);
+    if ((pr.hwc_valid & hwc::kCycles) != 0 && pr.cycles > 0) {
+      if ((pr.hwc_valid & hwc::kInstructions) != 0)
+        pr.ipc = static_cast<double>(pr.instructions) /
+                 static_cast<double>(pr.cycles);
+      if (rep.flops_per_cycle_peak > 0.0)
+        pr.pct_of_peak = static_cast<double>(pr.flops) /
+                         (rep.flops_per_cycle_peak *
+                          static_cast<double>(pr.cycles));
+    }
     rep.phases.push_back(pr);
     rep.work_seconds += pr.work_seconds;
     rep.critical_path_seconds += pr.critical_path_seconds;
@@ -207,18 +238,22 @@ namespace {
 std::string metrics_object(const Snapshot& snap) {
   const Report rep = analyze(snap);
   std::ostringstream out;
-  out << "{\"schema\":\"tseig-metrics-v1\"";
+  out << "{\"schema\":\"tseig-metrics-v2\"";
   out << ",\"run\":{\"label\":" << json_string(rep.meta.label)
       << ",\"n\":" << rep.meta.n << ",\"nb\":" << rep.meta.nb
       << ",\"workers\":" << rep.meta.num_workers
       << ",\"git\":" << json_string(rep.git)
-      << ",\"kernel\":" << json_string(rep.kernel) << "}";
+      << ",\"kernel\":" << json_string(rep.kernel)
+      << ",\"hwc_backend\":" << json_string(rep.hwc_backend)
+      << ",\"flops_per_cycle_peak\":" << num(rep.flops_per_cycle_peak) << "}";
   out << ",\"totals\":{\"wall_seconds\":" << num(rep.wall_seconds)
       << ",\"work_seconds\":" << num(rep.work_seconds)
       << ",\"critical_path_seconds\":" << num(rep.critical_path_seconds)
       << ",\"parallel_efficiency\":" << num(rep.parallel_efficiency)
       << ",\"spans\":" << rep.span_count
-      << ",\"dropped_spans\":" << rep.dropped_spans << "}";
+      << ",\"dropped_spans\":" << rep.dropped_spans
+      << ",\"dropped_counters\":" << rep.dropped_counters
+      << ",\"dropped_graphs\":" << rep.dropped_graphs << "}";
   out << ",\"phases\":[";
   bool first = true;
   for (const PhaseReport& p : rep.phases) {
@@ -231,7 +266,28 @@ std::string metrics_object(const Snapshot& snap) {
         << ",\"critical_path_seconds\":" << num(p.critical_path_seconds)
         << ",\"serial_seconds\":" << num(p.serial_seconds)
         << ",\"parallel_efficiency\":" << num(p.parallel_efficiency)
-        << ",\"tasks\":" << p.tasks << ",\"graphs\":" << p.graphs << "}";
+        << ",\"tasks\":" << p.tasks << ",\"graphs\":" << p.graphs
+        << ",\"flops\":" << p.flops << ",\"bytes\":" << p.bytes
+        << ",\"cycles\":" << p.cycles
+        << ",\"instructions\":" << p.instructions
+        << ",\"llc_misses\":" << p.llc_misses
+        << ",\"stalled_cycles\":" << p.stalled_cycles
+        << ",\"hwc_valid\":" << p.hwc_valid
+        << ",\"gflops\":" << num(p.gflops)
+        << ",\"arithmetic_intensity\":" << num(p.arithmetic_intensity)
+        << ",\"ipc\":" << num(p.ipc)
+        << ",\"pct_of_peak\":" << num(p.pct_of_peak) << "}";
+  }
+  out << "],\"histograms\":[";
+  first = true;
+  for (const HistogramSnapshot& h : rep.histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":" << json_string(histogram_name(h.which))
+        << ",\"samples\":" << h.samples << ",\"buckets\":[";
+    for (int b = 0; b < kHistogramBuckets; ++b)
+      out << (b > 0 ? "," : "") << h.buckets[static_cast<size_t>(b)];
+    out << "]}";
   }
   out << "],\"graphs\":[";
   first = true;
@@ -317,7 +373,10 @@ std::string to_chrome_trace_json(const Snapshot& snap) {
       << ",\"nb\":" << snap.meta.nb << ",\"workers\":" << snap.meta.num_workers
       << ",\"git\":" << json_string(TSEIG_GIT_DESCRIBE)
       << ",\"kernel\":" << json_string(blas::kernels::active_kernel_name())
-      << ",\"dropped_spans\":" << snap.dropped_spans << "}";
+      << ",\"hwc_backend\":" << json_string(snap.hwc_backend)
+      << ",\"dropped_spans\":" << snap.dropped_spans
+      << ",\"dropped_counters\":" << snap.dropped_counters
+      << ",\"dropped_graphs\":" << snap.dropped_graphs << "}";
   out << ",\"tseigMetrics\":" << metrics_object(snap) << "}";
   return out.str();
 }
@@ -332,6 +391,15 @@ std::string format_report(const Report& rep) {
       << ")\n";
   out << "  wall                " << fmt("%10.6f", rep.wall_seconds) << " s   ("
       << rep.span_count << " spans, " << rep.dropped_spans << " dropped)\n";
+  if (rep.dropped_spans > 0)
+    out << "  WARNING: " << rep.dropped_spans
+        << " spans dropped (ring overwrite) -- raise TSEIG_TRACE_CAPACITY\n";
+  if (rep.dropped_counters > 0)
+    out << "  WARNING: " << rep.dropped_counters
+        << " counter samples dropped (ring overwrite)\n";
+  if (rep.dropped_graphs > 0)
+    out << "  WARNING: " << rep.dropped_graphs
+        << " graph runs dropped (graph buffer full)\n";
   out << "  work                " << fmt("%10.6f", rep.work_seconds)
       << " cpu-s\n";
   if (rep.has_critical_path) {
@@ -365,6 +433,55 @@ std::string format_report(const Report& rep) {
       out << line;
     }
   }
+
+  // Roofline attribution: printed when any phase reported flops.  The
+  // %-of-peak and IPC columns need real core cycles, so they show "-" under
+  // the fallback backend (clock ticks, not cycles) or when hwc was off.
+  bool any_flops = false;
+  for (const PhaseReport& p : rep.phases) any_flops |= p.flops > 0;
+  if (any_flops) {
+    out << "\n  roofline (hwc backend: "
+        << (rep.hwc_backend.empty() ? "off" : rep.hwc_backend)
+        << ", tier peak " << fmt("%.1f", rep.flops_per_cycle_peak)
+        << " flops/cycle)\n";
+    out << "  phase         gflop      bytes  gflop/s     AI  "
+           "   IPC   peak %\n";
+    const bool real_cycles = rep.hwc_backend == "perf";
+    for (const PhaseReport& p : rep.phases) {
+      if (p.flops == 0 && p.bytes == 0) continue;
+      char line[200];
+      std::snprintf(line, sizeof line, "  %-10s %8.3f  %9s  %7.2f  %5.2f",
+                    p.name.c_str(), static_cast<double>(p.flops) * 1e-9,
+                    fmt("%.3g", static_cast<double>(p.bytes)).c_str(),
+                    p.gflops, p.arithmetic_intensity);
+      out << line;
+      if (real_cycles && (p.hwc_valid & hwc::kCycles) != 0) {
+        char tail[64];
+        std::snprintf(tail, sizeof tail, "  %5.2f  %6.1f\n", p.ipc,
+                      p.pct_of_peak * 100.0);
+        out << tail;
+      } else {
+        out << "      -       -\n";
+      }
+    }
+  }
+
+  if (!rep.histograms.empty()) {
+    out << "\n  duration histograms (log2-ns buckets):\n";
+    for (const HistogramSnapshot& h : rep.histograms) {
+      char line[200];
+      std::snprintf(line, sizeof line,
+                    "    %-14s %10llu samples  p50 %9.1fus  p90 %9.1fus  "
+                    "p99 %9.1fus\n",
+                    histogram_name(h.which),
+                    static_cast<unsigned long long>(h.samples),
+                    histogram_quantile(h, 0.50) * 1e6,
+                    histogram_quantile(h, 0.90) * 1e6,
+                    histogram_quantile(h, 0.99) * 1e6);
+      out << line;
+    }
+  }
+
   if (!rep.graphs.empty()) {
     out << "\n  task graphs:\n";
     for (const GraphReport& g : rep.graphs) {
@@ -420,8 +537,9 @@ void write_metrics_file(const Snapshot& snap, const std::string& path) {
 Report report_from_metrics_json(const JsonValue& doc) {
   const JsonValue* metrics = doc.find("tseigMetrics");
   const JsonValue& m = metrics != nullptr ? *metrics : doc;
-  require(m.string_or("schema", "") == "tseig-metrics-v1",
-          "report_from_metrics_json: not a tseig-metrics-v1 document");
+  const std::string schema = m.string_or("schema", "");
+  require(schema == "tseig-metrics-v1" || schema == "tseig-metrics-v2",
+          "report_from_metrics_json: not a tseig-metrics-v1/v2 document");
 
   Report rep;
   if (const JsonValue* run = m.find("run")) {
@@ -431,6 +549,8 @@ Report report_from_metrics_json(const JsonValue& doc) {
     rep.meta.num_workers = static_cast<int>(run->number_or("workers", 0));
     rep.git = run->string_or("git", "unknown");
     rep.kernel = run->string_or("kernel", "unknown");
+    rep.hwc_backend = run->string_or("hwc_backend", "off");
+    rep.flops_per_cycle_peak = run->number_or("flops_per_cycle_peak", 0.0);
   }
   if (const JsonValue* t = m.find("totals")) {
     rep.wall_seconds = t->number_or("wall_seconds", 0.0);
@@ -440,6 +560,10 @@ Report report_from_metrics_json(const JsonValue& doc) {
     rep.span_count = static_cast<idx>(t->number_or("spans", 0));
     rep.dropped_spans =
         static_cast<std::uint64_t>(t->number_or("dropped_spans", 0));
+    rep.dropped_counters =
+        static_cast<std::uint64_t>(t->number_or("dropped_counters", 0));
+    rep.dropped_graphs =
+        static_cast<std::uint64_t>(t->number_or("dropped_graphs", 0));
   }
   if (const JsonValue* phases = m.find("phases")) {
     for (const JsonValue& p : phases->as_array()) {
@@ -454,7 +578,43 @@ Report report_from_metrics_json(const JsonValue& doc) {
       pr.parallel_efficiency = p.number_or("parallel_efficiency", 0.0);
       pr.tasks = static_cast<idx>(p.number_or("tasks", 0));
       pr.graphs = static_cast<idx>(p.number_or("graphs", 0));
+      pr.flops = static_cast<std::uint64_t>(p.number_or("flops", 0));
+      pr.bytes = static_cast<std::uint64_t>(p.number_or("bytes", 0));
+      pr.cycles = static_cast<std::uint64_t>(p.number_or("cycles", 0));
+      pr.instructions =
+          static_cast<std::uint64_t>(p.number_or("instructions", 0));
+      pr.llc_misses = static_cast<std::uint64_t>(p.number_or("llc_misses", 0));
+      pr.stalled_cycles =
+          static_cast<std::uint64_t>(p.number_or("stalled_cycles", 0));
+      pr.hwc_valid = static_cast<unsigned>(p.number_or("hwc_valid", 0));
+      pr.gflops = p.number_or("gflops", 0.0);
+      pr.arithmetic_intensity = p.number_or("arithmetic_intensity", 0.0);
+      pr.ipc = p.number_or("ipc", 0.0);
+      pr.pct_of_peak = p.number_or("pct_of_peak", 0.0);
       rep.phases.push_back(pr);
+    }
+  }
+  if (const JsonValue* hists = m.find("histograms")) {
+    for (const JsonValue& h : hists->as_array()) {
+      HistogramSnapshot hs;
+      const std::string name = h.string_or("name", "");
+      bool known = false;
+      for (int i = 0; i < kHistogramCount; ++i) {
+        if (name == histogram_name(static_cast<Histogram>(i))) {
+          hs.which = static_cast<Histogram>(i);
+          known = true;
+          break;
+        }
+      }
+      if (!known) continue;
+      hs.samples = static_cast<std::uint64_t>(h.number_or("samples", 0));
+      if (const JsonValue* buckets = h.find("buckets")) {
+        const auto& arr = buckets->as_array();
+        for (size_t b = 0;
+             b < arr.size() && b < static_cast<size_t>(kHistogramBuckets); ++b)
+          hs.buckets[b] = static_cast<std::uint64_t>(arr[b].as_number());
+      }
+      rep.histograms.push_back(hs);
     }
   }
   if (const JsonValue* graphs = m.find("graphs")) {
@@ -554,6 +714,105 @@ Report report_from_trace_json(const JsonValue& doc) {
                           (phase_wall > 0.0 ? phase_wall : rep.wall_seconds);
   rep.parallel_efficiency = capacity > 0.0 ? rep.work_seconds / capacity : 0.0;
   return rep;
+}
+
+double histogram_quantile(const HistogramSnapshot& h, double q) {
+  if (h.samples == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(h.samples);
+  double seen = 0.0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const double c = static_cast<double>(h.buckets[static_cast<size_t>(b)]);
+    if (seen + c >= target && c > 0.0) return bucket_mid_seconds(b);
+    seen += c;
+  }
+  // All mass below target (rounding): last non-empty bucket.
+  for (int b = kHistogramBuckets - 1; b >= 0; --b)
+    if (h.buckets[static_cast<size_t>(b)] > 0) return bucket_mid_seconds(b);
+  return 0.0;
+}
+
+namespace {
+
+/// The comparable "name -> seconds" series of a document: either a metrics
+/// report (wall, critical path, per-phase wall) or a tseig-bench-v2 results
+/// list.  diff_documents joins two of these on key.
+struct SeriesDoc {
+  std::string label;
+  std::vector<std::pair<std::string, double>> rows;
+};
+
+SeriesDoc series_from_document(const JsonValue& doc) {
+  SeriesDoc s;
+  const JsonValue* metrics = doc.find("tseigMetrics");
+  const JsonValue& m = metrics != nullptr ? *metrics : doc;
+  if (m.string_or("schema", "") == "tseig-bench-v2") {
+    s.label = m.string_or("bench", "bench");
+    if (const JsonValue* results = m.find("results"))
+      for (const JsonValue& r : results->as_array())
+        s.rows.emplace_back(r.string_or("name", "?"),
+                            r.number_or("seconds", 0.0));
+    return s;
+  }
+  const Report rep = report_from_metrics_json(doc);
+  s.label = rep.meta.label.empty() ? "metrics" : rep.meta.label;
+  s.rows.emplace_back("wall", rep.wall_seconds);
+  if (rep.has_critical_path)
+    s.rows.emplace_back("critical_path", rep.critical_path_seconds);
+  for (const PhaseReport& p : rep.phases)
+    s.rows.emplace_back("phase:" + p.name, p.seconds);
+  return s;
+}
+
+}  // namespace
+
+DocumentDiff diff_documents(const JsonValue& base, const JsonValue& other,
+                            double tolerance_frac) {
+  const SeriesDoc b = series_from_document(base);
+  const SeriesDoc o = series_from_document(other);
+  DocumentDiff diff;
+  diff.base_label = b.label;
+  diff.other_label = o.label;
+  for (const auto& [key, base_s] : b.rows) {
+    const double* other_s = nullptr;
+    for (const auto& [okey, os] : o.rows) {
+      if (okey == key) {
+        other_s = &os;
+        break;
+      }
+    }
+    if (other_s == nullptr) continue;  // only rows present in both compare
+    DiffRow row;
+    row.key = key;
+    row.base_seconds = base_s;
+    row.other_seconds = *other_s;
+    row.delta_pct =
+        base_s > 0.0 ? (*other_s - base_s) / base_s * 100.0 : 0.0;
+    // Noise floor: a "regression" below 1us absolute is timer jitter on a
+    // sub-microsecond phase, not a real slowdown.
+    row.regression = base_s > 0.0 &&
+                     *other_s > base_s * (1.0 + tolerance_frac) &&
+                     *other_s - base_s > 1e-6;
+    diff.regression |= row.regression;
+    diff.rows.push_back(row);
+  }
+  return diff;
+}
+
+std::string format_diff(const DocumentDiff& diff) {
+  std::ostringstream out;
+  out << "tseig diff -- base: " << diff.base_label
+      << "  vs  other: " << diff.other_label << "\n";
+  out << "  key                      base s      other s    delta\n";
+  for (const DiffRow& r : diff.rows) {
+    char line[200];
+    std::snprintf(line, sizeof line, "  %-20s %10.6f   %10.6f  %+7.1f%%%s\n",
+                  r.key.c_str(), r.base_seconds, r.other_seconds, r.delta_pct,
+                  r.regression ? "  REGRESSION" : "");
+    out << line;
+  }
+  out << (diff.regression ? "verdict: REGRESSION\n" : "verdict: ok\n");
+  return out.str();
 }
 
 }  // namespace tseig::obs

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <mutex>
 
 #include "common/thread_annotations.hpp"
+#include "obs/hwc.hpp"
 #include "obs/report.hpp"
 
 namespace tseig::obs {
@@ -76,12 +78,18 @@ struct Recorder {
   std::vector<Lane*> lanes TSEIG_GUARDED_BY(mu);
   std::vector<GraphRun> graphs TSEIG_GUARDED_BY(mu);
   std::vector<WorkerMetric> workers TSEIG_GUARDED_BY(mu);
+  PhaseCost phase_costs[kPhaseCount] TSEIG_GUARDED_BY(mu);
   RunMeta meta TSEIG_GUARDED_BY(mu);
   std::uint64_t dropped_graphs TSEIG_GUARDED_BY(mu) = 0;
   std::string trace_path TSEIG_GUARDED_BY(mu);
   std::string metrics_path TSEIG_GUARDED_BY(mu);
   bool atexit_registered TSEIG_GUARDED_BY(mu) = false;
 };
+
+/// Histogram storage: process-wide atomic bucket arrays (lock-free adds,
+/// never dropped -- the whole point is surviving ring overwrite).
+std::atomic<std::uint64_t>
+    g_hist[kHistogramCount][kHistogramBuckets];
 
 Recorder& recorder() {
   static Recorder* r = new Recorder();  // leaked: usable during atexit
@@ -185,6 +193,7 @@ void record_span(const char* label, double t0, double t1, std::int32_t arg) {
   rec.start_seconds = t0;
   rec.end_seconds = t1;
   lane.push_span(rec);
+  record_histogram(Histogram::span_duration, t1 - t0);
 }
 
 void record_phase_span(const char* label, Phase phase, double t0, double t1) {
@@ -198,6 +207,48 @@ void record_phase_span(const char* label, Phase phase, double t0, double t1) {
   rec.start_seconds = t0;
   rec.end_seconds = t1;
   lane.push_span(rec);
+}
+
+const char* histogram_name(Histogram h) {
+  switch (h) {
+    case Histogram::span_duration: return "span_duration";
+    case Histogram::task_wait: return "task_wait";
+    case Histogram::count: break;
+  }
+  return "?";
+}
+
+int log2_ns_bucket(double seconds) {
+  const double ns = seconds * 1e9;
+  if (!(ns > 1.0)) return 0;  // <= 1 ns, zero, negative and NaN: bucket 0
+  // Clamp before the int cast: huge ns (or inf after the 1e9 scale) would
+  // otherwise overflow the cast, which is undefined.
+  const double b = std::log2(ns);
+  if (b >= static_cast<double>(kHistogramBuckets)) return kHistogramBuckets - 1;
+  return static_cast<int>(b);
+}
+
+double bucket_mid_seconds(int bucket) {
+  if (bucket < 0) bucket = 0;
+  if (bucket >= kHistogramBuckets) bucket = kHistogramBuckets - 1;
+  return 1.5 * std::ldexp(1.0, bucket) * 1e-9;  // geometric-ish midpoint
+}
+
+void record_histogram(Histogram h, double seconds) {
+  if (!enabled()) return;
+  const int which = static_cast<int>(h);
+  if (which < 0 || which >= kHistogramCount) return;
+  g_hist[which][log2_ns_bucket(seconds)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void record_phase_cost(Phase p, const PhaseCost& delta) {
+  if (!enabled()) return;
+  const int which = static_cast<int>(p);
+  if (which < 0 || which >= kPhaseCount) return;
+  Recorder& r = recorder();
+  LockGuard lock(r.mu);
+  r.phase_costs[which].add(delta);
 }
 
 void record_counter(const char* name, double value) {
@@ -263,6 +314,19 @@ Snapshot snapshot() {
   out.workers = r.workers;
   out.meta = r.meta;
   out.dropped_graphs = r.dropped_graphs;
+  for (int p = 0; p < kPhaseCount; ++p)
+    out.phase_costs[static_cast<std::size_t>(p)] = r.phase_costs[p];
+  for (int h = 0; h < kHistogramCount; ++h) {
+    HistogramSnapshot hs;
+    hs.which = static_cast<Histogram>(h);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      hs.buckets[static_cast<std::size_t>(b)] =
+          g_hist[h][b].load(std::memory_order_relaxed);
+      hs.samples += hs.buckets[static_cast<std::size_t>(b)];
+    }
+    out.histograms.push_back(hs);
+  }
+  out.hwc_backend = hwc::backend_name();
   return out;
 }
 
@@ -277,6 +341,10 @@ void reset() {
   r.workers.clear();
   r.meta = RunMeta{};
   r.dropped_graphs = 0;
+  for (int p = 0; p < kPhaseCount; ++p) r.phase_costs[p] = PhaseCost{};
+  for (int h = 0; h < kHistogramCount; ++h)
+    for (int b = 0; b < kHistogramBuckets; ++b)
+      g_hist[h][b].store(0, std::memory_order_relaxed);
 }
 
 void set_export_paths(const std::string& trace_path,

@@ -36,6 +36,7 @@
 // is the label-interning contract that keeps tracing overhead bounded.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -164,6 +165,79 @@ private:
 };
 
 // ---------------------------------------------------------------------------
+// Per-phase resource costs (fed by syev's timed() and the pool workers; the
+// roofline analyzer in obs/report.hpp joins them with the phase wall time).
+
+/// Accumulated resource deltas of one phase: flop/byte counters (FlopScope /
+/// ByteScope around the phase body) plus hardware-counter deltas (obs/hwc).
+/// Cycles sum over every sampling thread, so flops / (flops_per_cycle *
+/// cycles) is the phase's fraction of peak regardless of worker count.
+struct PhaseCost {
+  std::uint64_t flops = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  unsigned hwc_valid = 0;  ///< union of hwc::Sample validity masks seen
+
+  void add(const PhaseCost& d) {
+    flops += d.flops;
+    bytes += d.bytes;
+    cycles += d.cycles;
+    instructions += d.instructions;
+    llc_misses += d.llc_misses;
+    stalled_cycles += d.stalled_cycles;
+    hwc_valid |= d.hwc_valid;
+  }
+};
+
+/// Adds `delta` into the process-wide per-phase cost table (mutex-guarded;
+/// called at phase boundaries and fork_join body boundaries -- cold).
+/// No-op when disabled.
+void record_phase_cost(Phase p, const PhaseCost& delta);
+
+// ---------------------------------------------------------------------------
+// Log-bucket duration histograms.
+//
+// The span/counter rings overwrite their oldest records on overflow, so the
+// tail of a long run silently vanishes from raw exports.  These process-wide
+// histograms never drop: one atomic increment per sample into 64 log2(ns)
+// buckets (bucket i covers [2^i, 2^(i+1)) nanoseconds; <= 1 ns lands in
+// bucket 0, overflow clamps to the last).  record_span feeds the
+// span-duration histogram automatically; TaskGraph feeds task ready->start
+// waits.
+
+constexpr int kHistogramBuckets = 64;
+
+/// The tracked duration distributions.
+enum class Histogram : std::uint8_t {
+  span_duration = 0,  ///< every recorded span's end - start
+  task_wait,          ///< TaskGraph ready -> start wait per task
+  count
+};
+constexpr int kHistogramCount = static_cast<int>(Histogram::count);
+const char* histogram_name(Histogram h);
+
+/// Bucket index for a duration (exposed for the bucketing tests).
+int log2_ns_bucket(double seconds);
+
+/// Representative duration (seconds) of a bucket: the geometric midpoint of
+/// [2^i, 2^(i+1)) ns.  Inverse-ish of log2_ns_bucket for rendering.
+double bucket_mid_seconds(int bucket);
+
+/// Adds one sample.  Lock-free (relaxed atomic increment); no-op when
+/// disabled.
+void record_histogram(Histogram h, double seconds);
+
+/// One exported histogram: bucket counts plus the total sample count.
+struct HistogramSnapshot {
+  Histogram which = Histogram::span_duration;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  std::uint64_t samples = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Scheduler metrics (fed by TaskGraph / ThreadPool, cold paths).
 
 /// One task of a recorded graph run: duration plus the dependence edges the
@@ -200,12 +274,19 @@ struct GraphRun {
 /// enabled).  Keeps at most a bounded number of runs; overflow is counted.
 void record_graph_run(GraphRun&& run);
 
-/// Per-pool-worker time accounting, published by ThreadPool.
+/// Per-pool-worker time accounting, published by ThreadPool.  The hardware
+/// counters accumulate over the worker's fork_join bodies when obs/hwc
+/// sampling is on (hwc_valid == 0 otherwise).
 struct WorkerMetric {
   int worker = 0;
   double busy_seconds = 0.0;  ///< executing fork_join bodies
   double park_seconds = 0.0;  ///< blocked waiting for work
   std::uint64_t jobs = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t stalled_cycles = 0;
+  unsigned hwc_valid = 0;
 };
 
 /// Replaces the stored per-worker metrics (ThreadPool publishes a snapshot
@@ -234,7 +315,10 @@ struct Snapshot {
   std::vector<CounterRecord> counters;  ///< merged, sorted by time
   std::vector<GraphRun> graphs;
   std::vector<WorkerMetric> workers;
+  std::array<PhaseCost, static_cast<std::size_t>(kPhaseCount)> phase_costs{};
+  std::vector<HistogramSnapshot> histograms;  ///< one per Histogram id
   RunMeta meta;
+  std::string hwc_backend = "off";    ///< obs/hwc backend that sampled
   std::uint64_t dropped_spans = 0;    ///< ring overwrites (oldest lost)
   std::uint64_t dropped_counters = 0;
   std::uint64_t dropped_graphs = 0;

@@ -415,6 +415,7 @@ void TaskGraph::run(int num_workers) {
         const double wait = t0 - ready_at[static_cast<size_t>(id)];
         waits.total_seconds += wait;
         waits.max_seconds = std::max(waits.max_seconds, wait);
+        obs::record_histogram(obs::Histogram::task_wait, wait);
       }
       if (tracing_) {
         trace_.push_back({t.label, -1, worker_id, t0, t1});

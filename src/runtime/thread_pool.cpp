@@ -9,6 +9,7 @@
 #include "common/flops.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/types.hpp"
+#include "obs/hwc.hpp"
 #include "obs/telemetry.hpp"
 
 namespace tseig::rt {
@@ -35,11 +36,12 @@ struct ThreadPool::Impl {
   struct Batch {
     const std::function<void(int)>* job = nullptr;
     std::atomic<int> remaining{0};  // bodies not yet finished (incl. body 0)
-    // Flops the forked bodies executed on pool workers; credited back to the
-    // forking thread's counter after the join so a FlopScope around the
-    // fork_join sees exactly this call's work (and none of the work other
-    // concurrent pool clients delegated).
+    // Flops/bytes the forked bodies executed on pool workers; credited back
+    // to the forking thread's counters after the join so a FlopScope /
+    // ByteScope around the fork_join sees exactly this call's work (and none
+    // of the work other concurrent pool clients delegated).
     std::atomic<std::uint64_t> forked_flops{0};
+    std::atomic<std::uint64_t> forked_bytes{0};
     Mutex m;
     std::condition_variable done;
   };
@@ -91,16 +93,47 @@ struct ThreadPool::Impl {
       lock.unlock();
       const double b0 = obs::now_seconds();
       const std::uint64_t flops_before = flops_now();
+      const std::uint64_t bytes_before = bytes_now();
+      // Hardware-counter sampling per body: the process-wide phase is fixed
+      // for the duration of a fork_join (the solver's phases are sequential),
+      // so this body's counter deltas attribute to the phase that forked it.
+      // The caller thread's own delta is sampled by syev's timed(); workers
+      // contribute only their hwc deltas here (flops/bytes are credited back
+      // to the caller and counted there -- adding them again would double).
+      const bool hw = obs::enabled() && obs::hwc::enabled();
+      obs::hwc::Sample h0;
+      if (hw) h0 = obs::hwc::sample();
       (*t.batch->job)(t.index);
+      obs::hwc::Sample hd;
+      if (hw) hd = obs::hwc::delta(h0, obs::hwc::sample());
       t.batch->forked_flops.fetch_add(flops_now() - flops_before,
+                                      std::memory_order_relaxed);
+      t.batch->forked_bytes.fetch_add(bytes_now() - bytes_before,
                                       std::memory_order_relaxed);
       const double b1 = obs::now_seconds();
       jobs.fetch_add(1, std::memory_order_relaxed);
+      if (hw) {
+        obs::PhaseCost cost;
+        cost.cycles = hd.cycles;
+        cost.instructions = hd.instructions;
+        cost.llc_misses = hd.llc_misses;
+        cost.stalled_cycles = hd.stalled_cycles;
+        cost.hwc_valid = hd.valid;
+        obs::record_phase_cost(obs::current_phase(), cost);
+      }
       finish_body(*t.batch);
       lock.lock();
       --busy;
-      wtimes[static_cast<size_t>(id)].busy_seconds += b1 - b0;
-      ++wtimes[static_cast<size_t>(id)].jobs;
+      obs::WorkerMetric& wm = wtimes[static_cast<size_t>(id)];
+      wm.busy_seconds += b1 - b0;
+      ++wm.jobs;
+      if (hw) {
+        wm.cycles += hd.cycles;
+        wm.instructions += hd.instructions;
+        wm.llc_misses += hd.llc_misses;
+        wm.stalled_cycles += hd.stalled_cycles;
+        wm.hwc_valid |= hd.valid;
+      }
     }
   }
 
@@ -220,10 +253,12 @@ void ThreadPool::fork_join(int njobs, const std::function<void(int)>& job) {
     return batch.remaining.load(std::memory_order_acquire) == 0;
   });
   lock.unlock();
-  // Credit the delegated work to this thread's flop counter (body 0 already
-  // ran here and counted itself).
+  // Credit the delegated work to this thread's counters (body 0 already ran
+  // here and counted itself).
   count_flops(static_cast<std::int64_t>(
       batch.forked_flops.load(std::memory_order_relaxed)));
+  count_bytes(static_cast<std::int64_t>(
+      batch.forked_bytes.load(std::memory_order_relaxed)));
   if (obs::enabled()) im.publish_metrics();
 }
 

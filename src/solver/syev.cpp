@@ -5,6 +5,7 @@
 
 #include "blas/blas3.hpp"
 #include "common/flops.hpp"
+#include "obs/hwc.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
 #include "runtime/thread_pool.hpp"
@@ -69,13 +70,21 @@ std::vector<double> tridiag_subset(idx n, const double* d, const double* e,
 /// Phase timing helper: runs fn under the named telemetry phase,
 /// accumulating seconds and flops.  The recorded phase span uses the same
 /// two clock reads as the PhaseBreakdown accumulation, so tseig_prof's
-/// per-phase report and PhaseBreakdown agree exactly.
+/// per-phase report and PhaseBreakdown agree exactly.  When obs/hwc sampling
+/// is on, the caller thread's hardware-counter delta over the phase joins
+/// the FlopScope/ByteScope counts in the per-phase cost table (pool workers
+/// add their own deltas per fork_join body) -- the roofline analyzer's
+/// input.
 template <class F>
 void timed(obs::Phase phase, const char* label, double& seconds,
            std::uint64_t& flops, F&& fn) {
   obs::PhaseScope scope_phase(phase);
+  const bool hw = obs::enabled() && obs::hwc::enabled();
+  obs::hwc::Sample h0;
+  if (hw) h0 = obs::hwc::sample();
   const double t0 = obs::now_seconds();
   FlopScope scope;
+  ByteScope bytes;
   fn();
   const double t1 = obs::now_seconds();
   const std::uint64_t f = scope.count();
@@ -86,6 +95,18 @@ void timed(obs::Phase phase, const char* label, double& seconds,
     if (t1 > t0)
       obs::record_counter("flop_rate_gflops",
                           static_cast<double>(f) / (t1 - t0) * 1e-9);
+    obs::PhaseCost cost;
+    cost.flops = f;
+    cost.bytes = bytes.count();
+    if (hw) {
+      const obs::hwc::Sample hd = obs::hwc::delta(h0, obs::hwc::sample());
+      cost.cycles = hd.cycles;
+      cost.instructions = hd.instructions;
+      cost.llc_misses = hd.llc_misses;
+      cost.stalled_cycles = hd.stalled_cycles;
+      cost.hwc_valid = hd.valid;
+    }
+    obs::record_phase_cost(phase, cost);
   }
 }
 

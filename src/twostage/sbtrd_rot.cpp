@@ -21,6 +21,8 @@ void rot_two_sided(Matrix& a, idx n, idx p, idx w, double c, double s) {
   const idx lo = std::max<idx>(0, p - w);
   const idx hi = std::min<idx>(n - 1, q + w);
   count_flops(12 * (hi - lo + 1));
+  // Each window element is read and rewritten in both triangles.
+  count_bytes(2 * byte_count::kElem * 2 * (hi - lo + 1));
   // Rows p, q across the window columns (skip the 2x2 pivot block).
   for (idx k = lo; k <= hi; ++k) {
     if (k == p || k == q) continue;

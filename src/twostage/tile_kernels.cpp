@@ -6,6 +6,7 @@
 #include "blas/blas1.hpp"
 #include "blas/blas2.hpp"
 #include "blas/blas3.hpp"
+#include "common/flops.hpp"
 #include "lapack/aux.hpp"
 #include "lapack/householder.hpp"
 
@@ -45,6 +46,7 @@ void syrfb(idx m, idx kk, const double* v, idx ldv, const double* t, idx ldt,
   // cost next to the 4 m^2 kk flops of the update.
   double* full = work;              // m*m
   double* lwork = work + m * m;     // m*kk
+  count_bytes(2 * byte_count::copy(m, m));  // materialize + write-back
   for (idx j = 0; j < m; ++j) {
     for (idx i = j; i < m; ++i) {
       full[i + j * m] = a[i + j * lda];
@@ -99,6 +101,7 @@ void tsmqr_left(op trans, idx n, idx k, idx m2, const double* v2, idx ldv2,
                 const double* t, idx ldt, double* b1, idx ldb1, double* b2,
                 idx ldb2, double* work) {
   // W = op(T) (B1 + V2^T B2); B1 -= W; B2 -= V2 W.
+  count_bytes(2 * byte_count::copy(k, n));  // staging copy + subtraction
   lapack::lacpy(k, n, b1, ldb1, work, k);
   blas::gemm(op::trans, op::none, k, n, m2, 1.0, v2, ldv2, b2, ldb2, 1.0,
              work, k);
@@ -114,6 +117,7 @@ void tsmqr_right(op trans, idx m, idx k, idx m2, const double* v2, idx ldv2,
                  const double* t, idx ldt, double* c1, idx ldc1, double* c2,
                  idx ldc2, double* work) {
   // W = (C1 + C2 V2) op(T); C1 -= W; C2 -= W V2^T.
+  count_bytes(2 * byte_count::copy(m, k));  // staging copy + subtraction
   lapack::lacpy(m, k, c1, ldc1, work, m);
   blas::gemm(op::none, op::none, m, k, m2, 1.0, c2, ldc2, v2, ldv2, 1.0,
              work, m);
@@ -131,6 +135,7 @@ void tsmqr_corner(idx k, idx m2, const double* v2, idx ldv2, const double* t,
   const idx m = k + m2;
   double* full = work;          // m*m
   double* tswork = work + m * m;  // m*k
+  count_bytes(2 * byte_count::copy(m, m));  // assemble + write-back
   // Assemble the full symmetric corner.
   for (idx j = 0; j < k; ++j) {
     for (idx i = j; i < k; ++i) {
@@ -169,6 +174,7 @@ void tsmqr_left_hetra(op trans, idx n, idx k, idx m2, const double* v2,
   // B1 = A_kj^T is k-by-n; stage into a scratch transpose, apply, restore.
   double* b1 = work;             // k*n
   double* tswork = work + k * n;  // k*n
+  count_bytes(2 * byte_count::copy(k, n));  // stage transpose + restore
   for (idx j = 0; j < n; ++j)
     for (idx i = 0; i < k; ++i) b1[i + j * k] = a_kj[j + i * lda_kj];
   tsmqr_left(trans, n, k, m2, v2, ldv2, t, ldt, b1, k, b2, ldb2, tswork);

@@ -15,7 +15,9 @@
 
 #include <cmath>
 
+#include "blas/kernels/registry.hpp"
 #include "common/rng.hpp"
+#include "obs/hwc.hpp"
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/telemetry.hpp"
@@ -246,6 +248,211 @@ TEST(Obs, GraphScheduleMetadataRoundTripsThroughMetrics) {
   const std::string text = obs::format_report(rep);
   EXPECT_NE(text.find("lookahead=2"), std::string::npos);
   EXPECT_NE(text.find("critical-path"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardware-counter sampling (obs/hwc): the fallback backend every perf-less
+// CI container runs, and the delta/validity algebra the roofline relies on.
+
+TEST(ObsHwc, FallbackBackendProvidesMonotoneCycles) {
+  obs::hwc::force_backend_for_testing(obs::hwc::Backend::fallback);
+  EXPECT_TRUE(obs::hwc::enabled());
+  EXPECT_STREQ(obs::hwc::backend_name(), "fallback");
+
+  const obs::hwc::Sample a = obs::hwc::sample();
+  EXPECT_NE(a.valid & obs::hwc::kCycles, 0u);
+  // The fallback can only approximate cycles; everything else stays dark.
+  EXPECT_EQ(a.valid & obs::hwc::kInstructions, 0u);
+  EXPECT_EQ(a.valid & obs::hwc::kLlcMisses, 0u);
+
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink = sink + 1e-9 * i;
+  const obs::hwc::Sample b = obs::hwc::sample();
+  EXPECT_GE(b.cycles, a.cycles);
+  const obs::hwc::Sample d = obs::hwc::delta(a, b);
+  EXPECT_NE(d.valid & obs::hwc::kCycles, 0u);
+  EXPECT_EQ(d.cycles, b.cycles - a.cycles);
+
+  obs::hwc::force_backend_for_testing(obs::hwc::Backend::off);
+  EXPECT_FALSE(obs::hwc::enabled());
+  EXPECT_STREQ(obs::hwc::backend_name(), "off");
+  EXPECT_EQ(obs::hwc::sample().valid, 0u);
+}
+
+TEST(ObsHwc, DeltaIntersectsValidityMasks) {
+  obs::hwc::Sample a, b;
+  a.valid = obs::hwc::kCycles | obs::hwc::kInstructions;
+  b.valid = obs::hwc::kCycles | obs::hwc::kLlcMisses;
+  a.cycles = 100;
+  b.cycles = 350;
+  const obs::hwc::Sample d = obs::hwc::delta(a, b);
+  // A field is only meaningful when both endpoints measured it.
+  EXPECT_EQ(d.valid, obs::hwc::kCycles);
+  EXPECT_EQ(d.cycles, 250u);
+}
+
+// ---------------------------------------------------------------------------
+// Roofline attribution: a synthetic phase with hand-picked costs must come
+// back with exactly the GFLOP/s, AI, IPC and fraction-of-peak the numbers
+// imply, through analyze() and the metrics JSON round trip.
+
+TEST(ObsRoofline, SyntheticPhaseCostFixture) {
+  obs::reset();
+  obs::set_enabled(true);
+  const double t0 = obs::now_seconds();
+  obs::record_phase_span("stage1", obs::Phase::stage1, t0, t0 + 2.0);
+  obs::PhaseCost cost;
+  cost.flops = 4000000000ull;         // over 2 s -> 2 GFLOP/s
+  cost.bytes = 2000000000ull;         // AI = flops / bytes = 2.0
+  cost.cycles = 1000000000ull;        // peak% = 4 / flops_per_cycle_peak
+  cost.instructions = 2500000000ull;  // IPC = 2.5
+  cost.hwc_valid = obs::hwc::kCycles | obs::hwc::kInstructions;
+  obs::record_phase_cost(obs::Phase::stage1, cost);
+  obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+  snap.hwc_backend = "perf";  // claim real counters so all columns render
+
+  const obs::Report rep = obs::analyze(snap);
+  EXPECT_EQ(rep.flops_per_cycle_peak,
+            blas::kernels::active_kernel().flops_per_cycle);
+  ASSERT_GT(rep.flops_per_cycle_peak, 0.0);
+  const obs::PhaseReport* s1 = nullptr;
+  for (const obs::PhaseReport& p : rep.phases)
+    if (p.name == std::string("stage1")) s1 = &p;
+  ASSERT_NE(s1, nullptr);
+  EXPECT_NEAR(s1->gflops, 2.0, 1e-6);
+  EXPECT_NEAR(s1->arithmetic_intensity, 2.0, 1e-12);
+  EXPECT_NEAR(s1->ipc, 2.5, 1e-12);
+  EXPECT_NEAR(s1->pct_of_peak, 4.0 / rep.flops_per_cycle_peak, 1e-12);
+
+  // Round trip: the exported metrics JSON carries the same roofline numbers.
+  const obs::Report rep2 = obs::report_from_metrics_json(
+      obs::json_parse(obs::to_metrics_json(snap)));
+  const obs::PhaseReport* s2 = nullptr;
+  for (const obs::PhaseReport& p : rep2.phases)
+    if (p.name == std::string("stage1")) s2 = &p;
+  ASSERT_NE(s2, nullptr);
+  EXPECT_NEAR(s2->gflops, s1->gflops, 1e-9);
+  EXPECT_NEAR(s2->arithmetic_intensity, s1->arithmetic_intensity, 1e-9);
+  EXPECT_NEAR(s2->ipc, s1->ipc, 1e-9);
+  EXPECT_NEAR(s2->pct_of_peak, s1->pct_of_peak, 1e-9);
+  EXPECT_EQ(s2->flops, cost.flops);
+  EXPECT_EQ(s2->hwc_valid, cost.hwc_valid);
+
+  // Rendering: with a perf backend the IPC / peak-% columns carry numbers.
+  const std::string text = obs::format_report(rep);
+  EXPECT_NE(text.find("roofline (hwc backend: perf"), std::string::npos);
+  EXPECT_NE(text.find("2.50"), std::string::npos);  // the IPC column
+}
+
+TEST(ObsRoofline, FallbackBackendWithholdsIpcAndPeakColumns) {
+  // Fallback "cycles" are clock ticks, not core cycles: printing IPC or a
+  // fraction of peak from them would be fabricated precision.
+  obs::reset();
+  obs::set_enabled(true);
+  const double t0 = obs::now_seconds();
+  obs::record_phase_span("solve", obs::Phase::solve, t0, t0 + 1.0);
+  obs::PhaseCost cost;
+  cost.flops = 1000000000ull;
+  cost.cycles = 123456789ull;
+  cost.hwc_valid = obs::hwc::kCycles;
+  obs::record_phase_cost(obs::Phase::solve, cost);
+  obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+  snap.hwc_backend = "fallback";
+
+  const std::string text = obs::format_report(obs::analyze(snap));
+  EXPECT_NE(text.find("roofline (hwc backend: fallback"), std::string::npos);
+  // The roofline row (after the roofline header, past the phase table's own
+  // solve row) must end in dashes for IPC and peak%.
+  const size_t header = text.find("roofline");
+  const size_t row = text.find("  solve", header);
+  ASSERT_NE(row, std::string::npos);
+  const std::string line = text.substr(row, text.find('\n', row) - row);
+  EXPECT_NE(line.find('-'), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucket duration histograms.
+
+TEST(ObsHistogram, Log2NsBucketEdges) {
+  EXPECT_EQ(obs::log2_ns_bucket(0.0), 0);
+  EXPECT_EQ(obs::log2_ns_bucket(-1.0), 0);
+  EXPECT_EQ(obs::log2_ns_bucket(0.5e-9), 0);  // sub-ns clamps to bucket 0
+  EXPECT_EQ(obs::log2_ns_bucket(1e-9), 0);    // [1, 2) ns
+  EXPECT_EQ(obs::log2_ns_bucket(1.9e-9), 0);
+  EXPECT_EQ(obs::log2_ns_bucket(2e-9), 1);    // [2, 4) ns
+  EXPECT_EQ(obs::log2_ns_bucket(1.0), 29);    // 1 s = 1e9 ns, 2^29 <= 1e9 < 2^30
+  EXPECT_EQ(obs::log2_ns_bucket(1e300), obs::kHistogramBuckets - 1);
+  EXPECT_NEAR(obs::bucket_mid_seconds(0), 1.5e-9, 1e-18);
+  EXPECT_NEAR(obs::bucket_mid_seconds(10), 1.5 * 1024e-9, 1e-15);
+}
+
+TEST(ObsHistogram, QuantileWalksBuckets) {
+  obs::HistogramSnapshot h;
+  h.buckets[10] = 50;
+  h.buckets[20] = 50;
+  h.samples = 100;
+  EXPECT_NEAR(obs::histogram_quantile(h, 0.25), obs::bucket_mid_seconds(10),
+              1e-15);
+  EXPECT_NEAR(obs::histogram_quantile(h, 0.9), obs::bucket_mid_seconds(20),
+              1e-12);
+  const obs::HistogramSnapshot empty;
+  EXPECT_EQ(obs::histogram_quantile(empty, 0.5), 0.0);
+}
+
+TEST(ObsHistogram, RecordSnapshotAndMetricsRoundTrip) {
+  obs::reset();
+  obs::set_enabled(true);
+  for (int i = 0; i < 32; ++i)
+    obs::record_histogram(obs::Histogram::task_wait, 3e-6);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+
+  const int bucket = obs::log2_ns_bucket(3e-6);
+  const obs::HistogramSnapshot* hw = nullptr;
+  for (const obs::HistogramSnapshot& h : snap.histograms)
+    if (h.which == obs::Histogram::task_wait) hw = &h;
+  ASSERT_NE(hw, nullptr);
+  EXPECT_EQ(hw->samples, 32u);
+  EXPECT_EQ(hw->buckets[static_cast<size_t>(bucket)], 32u);
+
+  const obs::Report rep = obs::report_from_metrics_json(
+      obs::json_parse(obs::to_metrics_json(snap)));
+  const obs::HistogramSnapshot* hw2 = nullptr;
+  for (const obs::HistogramSnapshot& h : rep.histograms)
+    if (h.which == obs::Histogram::task_wait) hw2 = &h;
+  ASSERT_NE(hw2, nullptr);
+  EXPECT_EQ(hw2->samples, 32u);
+  EXPECT_EQ(hw2->buckets[static_cast<size_t>(bucket)], 32u);
+}
+
+// ---------------------------------------------------------------------------
+// Ring overflow accounting: dropped counters must be counted, surfaced in
+// the report text as a warning, and survive the metrics round trip.
+
+TEST(Obs, DroppedCountersAreCountedAndWarned) {
+  obs::reset();
+  obs::set_enabled(true);
+  const int total = (1 << 14) + 123;  // counter ring capacity + 123
+  for (int i = 0; i < total; ++i) obs::record_counter("overflow_me", 1.0);
+  const obs::Snapshot snap = obs::snapshot();
+  obs::set_enabled(false);
+  obs::reset();
+
+  EXPECT_EQ(snap.dropped_counters, 123u);
+  const obs::Report rep = obs::analyze(snap);
+  EXPECT_EQ(rep.dropped_counters, 123u);
+  const std::string text = obs::format_report(rep);
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("dropped"), std::string::npos);
+
+  const obs::Report rep2 = obs::report_from_metrics_json(
+      obs::json_parse(obs::to_metrics_json(snap)));
+  EXPECT_EQ(rep2.dropped_counters, 123u);
 }
 
 }  // namespace

@@ -1,41 +1,64 @@
-// tseig_prof: prints the critical-path / utilization report from a telemetry
-// export -- either a metrics JSON ("tseig-metrics-v1", written via
-// TSEIG_METRICS=<path>) or a Chrome/Perfetto trace (TSEIG_TRACE=<path>).
-// Traces written by this library embed the full metrics object under the
-// "tseigMetrics" key, so both formats yield the complete report; a foreign
-// bare trace degrades to per-phase utilization without the critical path.
+// tseig_prof: the telemetry-export CLI.
 //
-// Usage: tseig_prof FILE [FILE...]
+//   tseig_prof [report] FILE [FILE...]
+//     Prints the critical-path / utilization / roofline report from a
+//     telemetry export -- either a metrics JSON ("tseig-metrics-v1"/"-v2",
+//     written via TSEIG_METRICS=<path>) or a Chrome/Perfetto trace
+//     (TSEIG_TRACE=<path>).  Traces written by this library embed the full
+//     metrics object under the "tseigMetrics" key, so both formats yield
+//     the complete report; a foreign bare trace degrades to per-phase
+//     utilization without the critical path.
+//
+//   tseig_prof diff [--tolerance PCT] BASE OTHER
+//     Prints per-row deltas (wall, critical path, per-phase -- or per
+//     bench result for "tseig-bench-v2" files) between two exports.
+//     Rows slower than the tolerance band are flagged.  Exit 0 always
+//     (unless a file fails to load).
+//
+//   tseig_prof gate [--tolerance PCT] BASE OTHER
+//     Same comparison, but exits 1 when any row regressed -- the bench
+//     CI gate (scripts/bench_ci.sh).  Exit 0 when OTHER is within
+//     tolerance of BASE everywhere.
+//
+// Exit codes: 0 ok, 1 regression (gate) or unreadable file, 2 usage/parse.
 //
 //   TSEIG_TRACE=/tmp/run.json ./bench_fig1_breakdown
 //   tseig_prof /tmp/run.json
+//   tseig_prof diff base_metrics.json new_metrics.json
+//   tseig_prof gate --tolerance 10 BENCH_gemm.json /tmp/bench_gemm.json
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/report.hpp"
 
 namespace {
 
-int run_file(const std::string& path) {
+bool load_json(const std::string& path, tseig::obs::JsonValue& doc) {
   std::ifstream f(path);
   if (!f) {
     std::fprintf(stderr, "tseig_prof: cannot open %s\n", path.c_str());
-    return 1;
+    return false;
   }
   std::stringstream buf;
   buf << f.rdbuf();
-
-  tseig::obs::JsonValue doc;
   try {
     doc = tseig::obs::json_parse(buf.str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tseig_prof: %s: %s\n", path.c_str(), e.what());
-    return 1;
+    return false;
   }
+  return true;
+}
+
+int run_file(const std::string& path) {
+  tseig::obs::JsonValue doc;
+  if (!load_json(path, doc)) return 1;
 
   tseig::obs::Report rep;
   try {
@@ -47,7 +70,7 @@ int run_file(const std::string& path) {
       rep = tseig::obs::report_from_trace_json(doc);
     } catch (const std::exception& e) {
       std::fprintf(stderr,
-                   "tseig_prof: %s: neither a tseig-metrics-v1 document nor "
+                   "tseig_prof: %s: neither a tseig-metrics document nor "
                    "a Chrome trace (%s)\n",
                    path.c_str(), e.what());
       return 1;
@@ -58,20 +81,69 @@ int run_file(const std::string& path) {
   return 0;
 }
 
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: tseig_prof [report] FILE [FILE...]\n"
+      "       tseig_prof diff [--tolerance PCT] BASE OTHER\n"
+      "       tseig_prof gate [--tolerance PCT] BASE OTHER\n"
+      "  FILE: a TSEIG_METRICS json, a TSEIG_TRACE Chrome trace, or (for\n"
+      "  diff/gate) a tseig-bench-v2 json written by a bench's --json flag\n"
+      "  --tolerance PCT: noise band for diff/gate, percent (default 5)\n");
+  return 2;
+}
+
+int run_diff(bool gate, std::vector<std::string> args) {
+  double tolerance_pct = 5.0;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--tolerance") {
+      if (it + 1 == args.end()) return usage();
+      tolerance_pct = std::strtod((it + 1)->c_str(), nullptr);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (args.size() != 2) return usage();
+
+  tseig::obs::JsonValue base, other;
+  if (!load_json(args[0], base) || !load_json(args[1], other)) return 1;
+  tseig::obs::DocumentDiff diff;
+  try {
+    diff = tseig::obs::diff_documents(base, other, tolerance_pct / 100.0);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tseig_prof: %s\n", e.what());
+    return 2;
+  }
+  std::printf("%s", tseig::obs::format_diff(diff).c_str());
+  if (gate && diff.regression) {
+    std::fprintf(stderr,
+                 "tseig_prof: gate FAILED (regression beyond %.1f%%)\n",
+                 tolerance_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: tseig_prof FILE [FILE...]\n"
-                 "  FILE: a TSEIG_METRICS json or a TSEIG_TRACE Chrome "
-                 "trace\n");
-    return 2;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+
+  const std::string& cmd = args[0];
+  if (cmd == "diff" || cmd == "gate")
+    return run_diff(cmd == "gate", {args.begin() + 1, args.end()});
+
+  size_t first = 0;
+  if (cmd == "report") {
+    if (args.size() < 2) return usage();
+    first = 1;
   }
   int status = 0;
-  for (int i = 1; i < argc; ++i) {
-    if (i > 1) std::printf("\n");
-    status |= run_file(argv[i]);
+  for (size_t i = first; i < args.size(); ++i) {
+    if (i > first) std::printf("\n");
+    status |= run_file(args[i]);
   }
   return status;
 }
